@@ -1,0 +1,26 @@
+// Fixed-size message slot carried by channel queues.
+//
+// All slots on one queue have the same size (Section IV): a cache line.
+// Bulk data never travels inside messages — only rich pointers do.
+#pragma once
+
+#include <cstdint>
+
+#include "src/chan/rich_ptr.h"
+
+namespace newtos::chan {
+
+struct Message {
+  std::uint16_t opcode = 0;   // what the receiver should do next
+  std::uint16_t flags = 0;
+  std::uint32_t socket = 0;   // socket / connection id, when applicable
+  std::uint64_t req_id = 0;   // request-database id for request/reply pairs
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+  std::uint64_t arg2 = 0;
+  RichPtr ptr;                // main payload descriptor
+};
+
+static_assert(sizeof(Message) <= 64, "a message must fit one cache line");
+
+}  // namespace newtos::chan

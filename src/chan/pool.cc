@@ -1,0 +1,123 @@
+#include "src/chan/pool.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace newtos::chan {
+
+Pool::Pool(std::uint32_t id, std::string name, std::size_t size_bytes)
+    : id_(id), name_(std::move(name)), bytes_(size_bytes) {
+  assert(id_ != 0 && "pool id 0 is reserved for the null rich pointer");
+}
+
+std::uint32_t Pool::round_chunk(std::uint32_t len) {
+  // 64-byte granularity keeps chunks cache-line aligned and makes the
+  // segregated free lists effective.
+  return (len + 63u) & ~63u;
+}
+
+RichPtr Pool::alloc(std::uint32_t length) {
+  if (length == 0) return kNullRichPtr;
+  const std::uint32_t rounded = round_chunk(length);
+
+  std::uint32_t offset;
+  auto it = free_lists_.find(rounded);
+  if (it != free_lists_.end() && !it->second.empty()) {
+    offset = it->second.back();
+    it->second.pop_back();
+  } else {
+    if (bump_ + rounded > bytes_.size()) {
+      ++failed_allocs_;
+      return kNullRichPtr;
+    }
+    offset = bump_;
+    bump_ += rounded;
+  }
+
+  chunks_[offset] = Chunk{length, 1};
+  bytes_live_ += length;
+  ++total_allocs_;
+  return RichPtr{id_, offset, length, generation_};
+}
+
+void Pool::addref(const RichPtr& p) {
+  if (p.generation != generation_) return;
+  auto it = chunks_.find(p.offset);
+  assert(it != chunks_.end() && "addref on a freed chunk");
+  ++it->second.refs;
+}
+
+bool Pool::release(const RichPtr& p) {
+  if (p.generation != generation_) return false;  // stale: pool was reset
+  auto it = chunks_.find(p.offset);
+  if (it == chunks_.end()) return false;
+  assert(it->second.refs > 0);
+  if (--it->second.refs > 0) return false;
+  bytes_live_ -= it->second.length;
+  free_lists_[round_chunk(it->second.length)].push_back(p.offset);
+  chunks_.erase(it);
+  return true;
+}
+
+bool Pool::live(const RichPtr& p) const {
+  if (p.pool != id_ || p.generation != generation_) return false;
+  auto it = chunks_.find(p.offset);
+  return it != chunks_.end() && it->second.length >= p.length;
+}
+
+std::span<std::byte> Pool::write_view(const RichPtr& p) {
+  assert(live(p) && "write through a stale or foreign rich pointer");
+  return {bytes_.data() + p.offset, p.length};
+}
+
+bool Pool::dma_write(const RichPtr& p, std::span<const std::byte> data) {
+  if (p.pool != id_ || p.generation != generation_) return false;
+  if (data.size() > p.length) return false;
+  if (static_cast<std::size_t>(p.offset) + p.length > bytes_.size())
+    return false;
+  std::copy(data.begin(), data.end(), bytes_.begin() + p.offset);
+  return true;
+}
+
+std::span<const std::byte> Pool::read_view(const RichPtr& p) const {
+  if (p.pool != id_ || p.generation != generation_) return {};
+  if (static_cast<std::size_t>(p.offset) + p.length > bytes_.size()) return {};
+  return {bytes_.data() + p.offset, p.length};
+}
+
+void Pool::reset() {
+  chunks_.clear();
+  free_lists_.clear();
+  bump_ = 0;
+  bytes_live_ = 0;
+  ++generation_;
+}
+
+Pool& PoolRegistry::create(const std::string& owner, const std::string& name,
+                           std::size_t size_bytes) {
+  const std::uint32_t id = next_id_++;
+  auto pool = std::make_unique<Pool>(id, owner + "/" + name, size_bytes);
+  Pool& ref = *pool;
+  pools_.emplace(id, std::move(pool));
+  return ref;
+}
+
+void PoolRegistry::destroy(std::uint32_t id) { pools_.erase(id); }
+
+Pool* PoolRegistry::find(std::uint32_t id) {
+  auto it = pools_.find(id);
+  return it == pools_.end() ? nullptr : it->second.get();
+}
+
+const Pool* PoolRegistry::find(std::uint32_t id) const {
+  auto it = pools_.find(id);
+  return it == pools_.end() ? nullptr : it->second.get();
+}
+
+std::span<const std::byte> PoolRegistry::read(const RichPtr& p) const {
+  const Pool* pool = find(p.pool);
+  return pool ? pool->read_view(p) : std::span<const std::byte>{};
+}
+
+}  // namespace newtos::chan

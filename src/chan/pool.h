@@ -1,0 +1,118 @@
+// Shared memory pools for zero-copy bulk data (Section IV "Pools",
+// Section V-C "Zero Copy").
+//
+// A pool is created (and owned) by exactly one server; any number of servers
+// may attach it read-only.  Chunks are reference counted *by the owner*:
+// consumers report back when they are done (TX_DONE / RX_DONE messages in
+// the network stack) and only the owner frees.  Pools are exported read-only
+// so a consumer can never corrupt the original data — if a request must be
+// repeated after a crash, the original bytes are still intact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/chan/rich_ptr.h"
+
+namespace newtos::chan {
+
+class Pool {
+ public:
+  // `id` must be unique per PoolRegistry and non-zero.
+  Pool(std::uint32_t id, std::string name, std::size_t size_bytes);
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  std::uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return bytes_.size(); }
+  std::uint32_t generation() const { return generation_; }
+
+  // Owner-side allocation.  Returns a null pointer when the pool is
+  // exhausted; callers must treat that like a full queue (drop or defer,
+  // never block).  The chunk starts with one reference.
+  RichPtr alloc(std::uint32_t length);
+
+  // Owner-side reference management.
+  void addref(const RichPtr& p);
+  // Drops one reference; frees the chunk when it reaches zero.  Returns true
+  // if the chunk was freed.  Stale pointers (older generation) are ignored.
+  bool release(const RichPtr& p);
+
+  // Owner-side mutable view.  Asserts the pointer is live and in bounds.
+  std::span<std::byte> write_view(const RichPtr& p);
+  // Device DMA write (NIC receive).  Devices are not subject to the
+  // read-only export protection (no IOMMU modelled); bounds are enforced.
+  // Returns false on stale pointers or overflow.
+  bool dma_write(const RichPtr& p, std::span<const std::byte> data);
+  // Consumer-side read-only view (pools are exported read-only).
+  std::span<const std::byte> read_view(const RichPtr& p) const;
+
+  // True when `p` names a live chunk of the current generation.
+  bool live(const RichPtr& p) const;
+
+  // Crash support: drops every chunk and bumps the generation, so all
+  // outstanding rich pointers into this pool become stale.
+  void reset();
+
+  // Statistics.
+  std::size_t chunks_live() const { return chunks_.size(); }
+  std::size_t bytes_live() const { return bytes_live_; }
+  std::uint64_t total_allocs() const { return total_allocs_; }
+  std::uint64_t failed_allocs() const { return failed_allocs_; }
+
+ private:
+  struct Chunk {
+    std::uint32_t length = 0;
+    std::uint32_t refs = 0;
+  };
+
+  static std::uint32_t round_chunk(std::uint32_t len);
+
+  std::uint32_t id_;
+  std::string name_;
+  std::vector<std::byte> bytes_;
+  std::uint32_t generation_ = 1;
+
+  std::uint32_t bump_ = 0;  // high-water mark for fresh allocations
+  // offset -> live chunk metadata
+  std::unordered_map<std::uint32_t, Chunk> chunks_;
+  // rounded size -> reusable offsets (simple segregated free lists)
+  std::map<std::uint32_t, std::vector<std::uint32_t>> free_lists_;
+
+  std::size_t bytes_live_ = 0;
+  std::uint64_t total_allocs_ = 0;
+  std::uint64_t failed_allocs_ = 0;
+};
+
+// Per-node directory of pools, by id.  Models the mappings the virtual
+// memory manager would install: a server can only read a pool it attached.
+class PoolRegistry {
+ public:
+  // Creates a pool owned by `owner`.  Ids are assigned sequentially.
+  Pool& create(const std::string& owner, const std::string& name,
+               std::size_t size_bytes);
+  // Destroys a pool (owner exited and nobody should use it again).
+  void destroy(std::uint32_t id);
+
+  Pool* find(std::uint32_t id);
+  const Pool* find(std::uint32_t id) const;
+
+  // Resolves a rich pointer to read-only bytes; empty span if stale/unknown.
+  std::span<const std::byte> read(const RichPtr& p) const;
+
+  std::size_t count() const { return pools_.size(); }
+
+ private:
+  std::uint32_t next_id_ = 1;
+  std::unordered_map<std::uint32_t, std::unique_ptr<Pool>> pools_;
+};
+
+}  // namespace newtos::chan

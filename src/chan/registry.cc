@@ -1,0 +1,73 @@
+#include "src/chan/registry.h"
+
+#include <utility>
+
+namespace newtos::chan {
+
+void Registry::publish(const std::string& key, Published value) {
+  published_[key] = std::move(value);
+  // Copy the subscriber list: callbacks may subscribe/unsubscribe.
+  std::vector<SubFn> to_fire;
+  for (auto& [id, sub] : subs_) {
+    if (sub.key == key) to_fire.push_back(sub.fn);
+  }
+  const Published& stored = published_[key];
+  for (auto& fn : to_fire) fn(key, stored, /*up=*/true, /*replay=*/false);
+}
+
+void Registry::unpublish(const std::string& key) {
+  auto it = published_.find(key);
+  if (it == published_.end()) return;
+  const Published gone = it->second;
+  published_.erase(it);
+  std::vector<SubFn> to_fire;
+  for (auto& [id, sub] : subs_) {
+    if (sub.key == key) to_fire.push_back(sub.fn);
+  }
+  for (auto& fn : to_fire) fn(key, gone, /*up=*/false, /*replay=*/false);
+}
+
+std::optional<Published> Registry::lookup(const std::string& key) const {
+  auto it = published_.find(key);
+  if (it == published_.end()) return std::nullopt;
+  return it->second;
+}
+
+Registry::SubId Registry::subscribe(const std::string& key, SubFn fn) {
+  const SubId id = next_sub_++;
+  subs_.emplace(id, Sub{key, fn});
+  auto it = published_.find(key);
+  if (it != published_.end()) fn(key, it->second, /*up=*/true, /*replay=*/true);
+  return id;
+}
+
+void Registry::unsubscribe(SubId id) { subs_.erase(id); }
+
+ChannelManager::Credential ChannelManager::export_queue(
+    const std::string& creator, const std::string& grantee, Queue* q) {
+  const Credential cred = next_++;
+  grants_.emplace(cred, Grant{creator, grantee, q});
+  return cred;
+}
+
+Queue* ChannelManager::attach(const std::string& who, Credential cred) {
+  auto it = grants_.find(cred);
+  if (it == grants_.end()) return nullptr;
+  if (it->second.grantee != who) return nullptr;
+  return it->second.queue;
+}
+
+std::size_t ChannelManager::revoke_all(const std::string& creator) {
+  std::size_t n = 0;
+  for (auto it = grants_.begin(); it != grants_.end();) {
+    if (it->second.creator == creator) {
+      it = grants_.erase(it);
+      ++n;
+    } else {
+      ++it;
+    }
+  }
+  return n;
+}
+
+}  // namespace newtos::chan

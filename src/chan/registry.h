@@ -1,0 +1,87 @@
+// Publish/subscribe registry and channel export/attach management
+// (Section IV-C, "Channel Management").
+//
+// There is no global manager: when a server starts it *publishes* its
+// presence; peers subscribed to the key react by exporting their channels to
+// it.  An export hands out a credential; the holder presents the credential
+// to attach (in the real system the memory manager validates it and installs
+// the mapping).  Detach is only used when the other side disappears.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/chan/channel.h"
+
+namespace newtos::chan {
+
+// What the registry stores under a key: who published and an opaque handle
+// (a Queue*, a pool id, a server endpoint — the subscribers know the type).
+struct Published {
+  std::string publisher;
+  std::uint64_t value = 0;
+};
+
+class Registry {
+ public:
+  using SubId = std::uint64_t;
+  // up=true when the key (re)appears, false when it is withdrawn.
+  // replay=true when the callback merely replays the current state to a new
+  // subscriber (subscription time), false for live transitions.
+  using SubFn = std::function<void(const std::string& key, const Published&,
+                                   bool up, bool replay)>;
+
+  // Publishes `key`; notifies subscribers.  Re-publishing the same key (a
+  // restarted server) notifies subscribers again.
+  void publish(const std::string& key, Published value);
+  void unpublish(const std::string& key);
+
+  std::optional<Published> lookup(const std::string& key) const;
+
+  // Subscribes to exact key `key`.  If the key is already published the
+  // callback fires immediately (so start order does not matter).
+  SubId subscribe(const std::string& key, SubFn fn);
+  void unsubscribe(SubId id);
+
+ private:
+  struct Sub {
+    std::string key;
+    SubFn fn;
+  };
+  std::map<std::string, Published> published_;
+  std::map<SubId, Sub> subs_;
+  SubId next_sub_ = 1;
+};
+
+// Credentials-based export/attach for queues, modelling the role the memory
+// manager plays when mapping a channel into another address space.
+class ChannelManager {
+ public:
+  using Credential = std::uint64_t;
+
+  // The queue's creator grants `grantee` the right to attach `q`.
+  Credential export_queue(const std::string& creator,
+                          const std::string& grantee, Queue* q);
+
+  // Attaching with someone else's credential fails (returns nullptr), as the
+  // memory manager would refuse the mapping.
+  Queue* attach(const std::string& who, Credential cred);
+
+  // Withdraws every export made by `creator` (it crashed); returns how many.
+  std::size_t revoke_all(const std::string& creator);
+
+ private:
+  struct Grant {
+    std::string creator;
+    std::string grantee;
+    Queue* queue;
+  };
+  std::map<Credential, Grant> grants_;
+  Credential next_ = 1;
+};
+
+}  // namespace newtos::chan

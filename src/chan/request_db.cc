@@ -1,0 +1,49 @@
+#include "src/chan/request_db.h"
+
+#include <utility>
+
+namespace newtos::chan {
+
+std::uint64_t RequestDb::add(std::string peer, std::uint64_t cookie,
+                             AbortFn on_abort) {
+  const std::uint64_t id = next_id_++;
+  requests_.emplace(id, Request{std::move(peer), cookie, std::move(on_abort)});
+  return id;
+}
+
+bool RequestDb::complete(std::uint64_t id, std::uint64_t* cookie) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return false;
+  if (cookie != nullptr) *cookie = it->second.cookie;
+  requests_.erase(it);
+  return true;
+}
+
+std::size_t RequestDb::abort_peer(const std::string& peer) {
+  // Collect first: abort actions may add new requests (e.g. resubmission).
+  std::vector<std::pair<std::uint64_t, Request>> doomed;
+  for (auto it = requests_.begin(); it != requests_.end();) {
+    if (it->second.peer == peer) {
+      doomed.emplace_back(it->first, std::move(it->second));
+      it = requests_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [id, req] : doomed) {
+    if (req.on_abort) req.on_abort(id, req.cookie);
+  }
+  return doomed.size();
+}
+
+std::size_t RequestDb::abort_all() {
+  std::vector<std::pair<std::uint64_t, Request>> doomed;
+  for (auto& [id, req] : requests_) doomed.emplace_back(id, std::move(req));
+  requests_.clear();
+  for (auto& [id, req] : doomed) {
+    if (req.on_abort) req.on_abort(id, req.cookie);
+  }
+  return doomed.size();
+}
+
+}  // namespace newtos::chan

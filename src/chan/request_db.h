@@ -1,0 +1,56 @@
+// Database of in-flight asynchronous requests (Section IV).
+//
+// Single-threaded asynchronous servers must remember what they submitted on
+// which channel and what to do if the peer dies before replying.  Every
+// request gets a unique id; replies are matched by id.  When a neighbour
+// crashes, abort_peer() removes all requests addressed to it and runs their
+// abort actions (drop, resubmit, propagate an error — application policy).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace newtos::chan {
+
+class RequestDb {
+ public:
+  // `cookie` is opaque user state (an index, a pointer, a sequence number).
+  // The abort action receives the request id and the cookie.
+  using AbortFn = std::function<void(std::uint64_t id, std::uint64_t cookie)>;
+
+  // Registers a request addressed to `peer`.  Returns the fresh id.
+  std::uint64_t add(std::string peer, std::uint64_t cookie, AbortFn on_abort);
+
+  // Completes a request (a reply arrived).  Returns true and yields the
+  // cookie if the id was outstanding; false for unknown/stale ids (replies
+  // from before a crash are ignored this way, Section V-D).
+  bool complete(std::uint64_t id, std::uint64_t* cookie = nullptr);
+
+  // True if `id` is still outstanding.
+  bool pending(std::uint64_t id) const { return requests_.count(id) != 0; }
+
+  // Aborts every request addressed to `peer`, running the abort actions in
+  // submission order.  Returns how many were aborted.
+  std::size_t abort_peer(const std::string& peer);
+
+  // Aborts everything (own crash/shutdown path).
+  std::size_t abort_all();
+
+  std::size_t size() const { return requests_.size(); }
+  std::uint64_t issued() const { return next_id_ - 1; }
+
+ private:
+  struct Request {
+    std::string peer;
+    std::uint64_t cookie;
+    AbortFn on_abort;
+  };
+
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Request> requests_;  // ordered => deterministic
+};
+
+}  // namespace newtos::chan

@@ -1,0 +1,26 @@
+// Rich pointers: location-independent references into shared memory pools.
+//
+// A rich pointer names *which pool* and *where in the pool* a chunk of data
+// lives (Section IV, "Pools").  Any component that has attached the pool can
+// translate it to a local view; components pass packets as chains of rich
+// pointers instead of copying payload (Section V-C, "Zero Copy").
+#pragma once
+
+#include <cstdint>
+
+namespace newtos::chan {
+
+struct RichPtr {
+  std::uint32_t pool = 0;        // pool id; 0 is never a valid pool
+  std::uint32_t offset = 0;      // byte offset of the chunk within the pool
+  std::uint32_t length = 0;      // chunk length in bytes
+  std::uint32_t generation = 0;  // pool generation; stale after a pool reset
+
+  bool valid() const { return pool != 0 && length != 0; }
+
+  friend bool operator==(const RichPtr&, const RichPtr&) = default;
+};
+
+inline constexpr RichPtr kNullRichPtr{};
+
+}  // namespace newtos::chan

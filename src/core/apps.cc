@@ -1,0 +1,367 @@
+#include "src/core/apps.h"
+
+#include <vector>
+
+#include "src/core/node.h"
+
+namespace newtos::apps {
+
+// --- BulkSender -----------------------------------------------------------------------
+
+BulkSender::BulkSender(Node& node, AppActor* app, Config cfg)
+    : node_(node), app_(app), cfg_(cfg) {}
+
+void BulkSender::start() {
+  app_->call([this](sim::Context& ctx) { open_and_connect(ctx); });
+}
+
+void BulkSender::open_and_connect(sim::Context&) {
+  SocketApi& api = node_.sockets();
+  api.open(*app_, 'T', [this](SocketApi::Handle h) {
+    if (!h.valid()) {
+      app_->call_after(100 * sim::kMillisecond,
+                       [this](sim::Context& ctx) { open_and_connect(ctx); });
+      return;
+    }
+    h_ = h;
+    node_.sockets().set_event_handler(
+        h_, app_, [this](net::TcpEvent ev) { on_event(ev); });
+    node_.sockets().connect(*app_, h_, cfg_.dst, cfg_.port, [this](bool ok) {
+      if (!ok) {
+        app_->call_after(100 * sim::kMillisecond, [this](sim::Context& ctx) {
+          open_and_connect(ctx);
+        });
+      }
+    });
+  });
+}
+
+void BulkSender::on_event(net::TcpEvent ev) {
+  switch (ev) {
+    case net::TcpEvent::Connected:
+      connected_ = true;
+      node_.stats().add(cfg_.prefix + ".connects");
+      pump(app_->cur());
+      break;
+    case net::TcpEvent::Writable:
+      pump(app_->cur());
+      break;
+    case net::TcpEvent::Reset:
+    case net::TcpEvent::Closed:
+      connected_ = false;
+      node_.stats().add(cfg_.prefix + ".resets");
+      node_.sockets().clear_event_handler(h_);
+      h_ = {};
+      app_->call_after(200 * sim::kMillisecond,
+                       [this](sim::Context& ctx) { open_and_connect(ctx); });
+      break;
+    default:
+      break;
+  }
+}
+
+void BulkSender::pump(sim::Context&) {
+  if (!connected_) return;
+  SocketApi& api = node_.sockets();
+  if (outstanding_ == 0 && api.send_space(h_) < cfg_.write_size &&
+      !retry_scheduled_) {
+    // Send buffer full with nothing in flight: poll until ACKs free space
+    // (the Writable event only fires after a failed send).
+    retry_scheduled_ = true;
+    app_->call_after(5 * sim::kMillisecond, [this](sim::Context& ctx) {
+      retry_scheduled_ = false;
+      pump(ctx);
+    });
+    return;
+  }
+  while (outstanding_ < cfg_.max_outstanding &&
+         api.send_space(h_) >= cfg_.write_size) {
+    ++outstanding_;
+    api.send(*app_, h_, cfg_.write_size, [this](bool ok) {
+      --outstanding_;
+      if (ok) {
+        node_.stats().add(cfg_.prefix + ".bytes", cfg_.write_size);
+        pump(app_->cur());
+      } else if (!retry_scheduled_) {
+        // Backpressure or transport restart: retry shortly; a Writable
+        // event may also resume us sooner.
+        retry_scheduled_ = true;
+        app_->call_after(20 * sim::kMillisecond, [this](sim::Context& ctx) {
+          retry_scheduled_ = false;
+          pump(ctx);
+        });
+      }
+    });
+  }
+}
+
+// --- BulkReceiver ----------------------------------------------------------------------
+
+BulkReceiver::BulkReceiver(Node& node, AppActor* app, Config cfg)
+    : node_(node), app_(app), cfg_(cfg) {}
+
+void BulkReceiver::start() {
+  app_->call([this](sim::Context&) {
+    SocketApi& api = node_.sockets();
+    api.open(*app_, 'T', [this](SocketApi::Handle h) {
+      if (!h.valid()) return;
+      listener_ = h;
+      SocketApi& api2 = node_.sockets();
+      api2.set_event_handler(listener_, app_, [this](net::TcpEvent ev) {
+        on_listener_event(ev);
+      });
+      api2.bind(*app_, listener_, net::Ipv4Addr{}, cfg_.port, [this](bool) {
+        node_.sockets().listen(*app_, listener_, 16, [](bool) {});
+      });
+    });
+  });
+  if (cfg_.record_series) {
+    sample();  // kicks off the periodic bitrate sampler
+  }
+}
+
+void BulkReceiver::sample() {
+  node_.sim().after(cfg_.sample_interval, [this] {
+    const std::uint64_t delta = bytes_ - last_sample_bytes_;
+    last_sample_bytes_ = bytes_;
+    const double mbps = static_cast<double>(delta) * 8.0 /
+                        (static_cast<double>(cfg_.sample_interval) / 1e9) /
+                        1e6;
+    node_.stats().record(cfg_.prefix + ".mbps", node_.sim().now(), mbps);
+    sample();
+  });
+}
+
+void BulkReceiver::on_listener_event(net::TcpEvent ev) {
+  if (ev != net::TcpEvent::AcceptReady) return;
+  SocketApi& api = node_.sockets();
+  while (auto child = api.accept(*app_, listener_)) {
+    const SocketApi::Handle h = *child;
+    api.set_event_handler(h, app_, [this, h](net::TcpEvent cev) {
+      if (cev == net::TcpEvent::Readable) {
+        drain(h, app_->cur());
+      } else if (cev == net::TcpEvent::Reset || cev == net::TcpEvent::Closed ||
+                 cev == net::TcpEvent::PeerClosed) {
+        node_.sockets().clear_event_handler(h);
+      }
+    });
+    drain(h, app_->cur());  // data may have landed before registration
+  }
+}
+
+void BulkReceiver::drain(SocketApi::Handle h, sim::Context& ctx) {
+  static thread_local std::vector<std::byte> scratch(64 * 1024);
+  SocketApi& api = node_.sockets();
+  for (;;) {
+    const std::size_t n = api.recv(*app_, h, scratch);
+    if (n == 0) break;
+    bytes_ += n;
+    node_.stats().add(cfg_.prefix + ".bytes", n);
+  }
+  (void)ctx;
+}
+
+// --- EchoServer ------------------------------------------------------------------------
+
+EchoServer::EchoServer(Node& node, AppActor* app, Config cfg)
+    : node_(node), app_(app), cfg_(cfg) {}
+
+void EchoServer::start() {
+  app_->call([this](sim::Context&) {
+    SocketApi& api = node_.sockets();
+    api.open(*app_, 'T', [this](SocketApi::Handle h) {
+      if (!h.valid()) return;
+      listener_ = h;
+      SocketApi& api2 = node_.sockets();
+      api2.set_event_handler(listener_, app_, [this](net::TcpEvent ev) {
+        on_listener_event(ev);
+      });
+      api2.bind(*app_, listener_, net::Ipv4Addr{}, cfg_.port, [this](bool) {
+        node_.sockets().listen(*app_, listener_, 16, [](bool) {});
+      });
+    });
+  });
+}
+
+void EchoServer::on_listener_event(net::TcpEvent ev) {
+  if (ev != net::TcpEvent::AcceptReady) return;
+  SocketApi& api = node_.sockets();
+  while (auto child = api.accept(*app_, listener_)) {
+    const SocketApi::Handle h = *child;
+    node_.stats().add(cfg_.prefix + ".accepted");
+    api.set_event_handler(h, app_, [this, h](net::TcpEvent cev) {
+      if (cev == net::TcpEvent::Readable) {
+        serve(h, app_->cur());
+      } else if (cev == net::TcpEvent::Reset || cev == net::TcpEvent::Closed ||
+                 cev == net::TcpEvent::PeerClosed) {
+        node_.sockets().clear_event_handler(h);
+      }
+    });
+    serve(h, app_->cur());
+  }
+}
+
+void EchoServer::serve(SocketApi::Handle h, sim::Context&) {
+  static thread_local std::vector<std::byte> scratch(4096);
+  SocketApi& api = node_.sockets();
+  for (;;) {
+    const std::size_t n = api.recv(*app_, h, scratch);
+    if (n == 0) break;
+    api.send(*app_, h, static_cast<std::uint32_t>(n), [](bool) {});
+  }
+}
+
+// --- EchoClient ------------------------------------------------------------------------
+
+EchoClient::EchoClient(Node& node, AppActor* app, Config cfg)
+    : node_(node), app_(app), cfg_(cfg) {}
+
+void EchoClient::start() {
+  app_->call([this](sim::Context& ctx) {
+    connect_now(ctx);
+    tick(ctx);
+  });
+}
+
+void EchoClient::connect_now(sim::Context&) {
+  SocketApi& api = node_.sockets();
+  api.open(*app_, 'T', [this](SocketApi::Handle h) {
+    if (!h.valid()) {
+      app_->call_after(cfg_.reconnect_backoff,
+                       [this](sim::Context& ctx) { connect_now(ctx); });
+      return;
+    }
+    h_ = h;
+    node_.sockets().set_event_handler(
+        h_, app_, [this](net::TcpEvent ev) { on_event(ev); });
+    node_.sockets().connect(*app_, h_, cfg_.dst, cfg_.port, [this](bool ok) {
+      if (!ok) {
+        node_.sockets().clear_event_handler(h_);
+        h_ = {};
+        app_->call_after(cfg_.reconnect_backoff,
+                         [this](sim::Context& ctx) { connect_now(ctx); });
+      }
+    });
+  });
+}
+
+void EchoClient::on_event(net::TcpEvent ev) {
+  SocketApi& api = node_.sockets();
+  switch (ev) {
+    case net::TcpEvent::Connected:
+      if (connected_) break;
+      connected_ = true;
+      ++reconnects_;
+      node_.stats().add(cfg_.prefix + ".connected");
+      break;
+    case net::TcpEvent::Readable: {
+      static thread_local std::vector<std::byte> scratch(512);
+      while (api.recv(*app_, h_, scratch) > 0) {
+      }
+      if (awaiting_reply_) {
+        awaiting_reply_ = false;
+        ++seq_answered_;
+        ++ok_;
+        node_.stats().add(cfg_.prefix + ".ok");
+      }
+      break;
+    }
+    case net::TcpEvent::Reset:
+    case net::TcpEvent::Closed:
+      if (connected_) {
+        ++resets_;
+        node_.stats().add(cfg_.prefix + ".resets");
+      }
+      connected_ = false;
+      awaiting_reply_ = false;
+      api.clear_event_handler(h_);
+      h_ = {};
+      app_->call_after(cfg_.reconnect_backoff,
+                       [this](sim::Context& ctx) { connect_now(ctx); });
+      break;
+    default:
+      break;
+  }
+}
+
+void EchoClient::tick(sim::Context&) {
+  if (connected_ && h_.valid()) {
+    if (awaiting_reply_) {
+      // Previous request unanswered within the interval: count a timeout
+      // once it exceeds cfg_.timeout (intervals since send).
+      ++timeouts_;
+      node_.stats().add(cfg_.prefix + ".timeouts");
+      awaiting_reply_ = false;
+    } else {
+      ++seq_sent_;
+      awaiting_reply_ = true;
+      node_.sockets().send(*app_, h_, 128, [this](bool ok) {
+        if (!ok) awaiting_reply_ = false;
+      });
+    }
+  }
+  app_->call_after(cfg_.interval, [this](sim::Context& ctx) { tick(ctx); });
+}
+
+// --- DNS pair --------------------------------------------------------------------------
+
+DnsServer::DnsServer(Node& node, AppActor* app, std::uint16_t port)
+    : node_(node), app_(app), port_(port) {}
+
+void DnsServer::start() {
+  app_->call([this](sim::Context&) {
+    SocketApi& api = node_.sockets();
+    api.open(*app_, 'U', [this](SocketApi::Handle h) {
+      if (!h.valid()) return;
+      h_ = h;
+      SocketApi& api2 = node_.sockets();
+      api2.set_event_handler(h_, app_, [this](net::TcpEvent) {
+        SocketApi& api3 = node_.sockets();
+        while (auto d = api3.recvfrom(*app_, h_)) {
+          api3.sendto(*app_, h_,
+                      static_cast<std::uint32_t>(d->data.size()), d->src,
+                      d->sport, [](bool) {});
+        }
+      });
+      api2.bind(*app_, h_, net::Ipv4Addr{}, port_, [](bool) {});
+    });
+  });
+}
+
+DnsClient::DnsClient(Node& node, AppActor* app, Config cfg)
+    : node_(node), app_(app), cfg_(cfg) {}
+
+void DnsClient::start() {
+  app_->call([this](sim::Context&) {
+    SocketApi& api = node_.sockets();
+    api.open(*app_, 'U', [this](SocketApi::Handle h) {
+      if (!h.valid()) return;
+      h_ = h;
+      SocketApi& api2 = node_.sockets();
+      api2.set_event_handler(h_, app_, [this](net::TcpEvent) {
+        SocketApi& api3 = node_.sockets();
+        while (api3.recvfrom(*app_, h_)) {
+          ++answered_;
+          node_.stats().add(cfg_.prefix + ".answered");
+        }
+      });
+      api2.connect(*app_, h_, cfg_.dst, cfg_.port, [this](bool ok) {
+        ready_ = ok;
+      });
+    });
+  });
+  app_->call_after(cfg_.interval, [this](sim::Context& ctx) { tick(ctx); });
+}
+
+void DnsClient::tick(sim::Context&) {
+  if (ready_ && h_.valid()) {
+    ++sent_;
+    node_.stats().add(cfg_.prefix + ".sent");
+    // The socket is connected; sendto with a zero address uses the preset
+    // peer (the remote resolver).
+    node_.sockets().sendto(*app_, h_, 64, net::Ipv4Addr{}, 0, [](bool) {});
+  }
+  app_->call_after(cfg_.interval, [this](sim::Context& ctx) { tick(ctx); });
+}
+
+}  // namespace newtos::apps

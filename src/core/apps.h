@@ -1,0 +1,180 @@
+// Workload applications: the traffic the paper's evaluation runs.
+//
+//  - BulkSender/BulkReceiver: the iperf pair of Table II and Figures 4/5.
+//  - EchoServer/EchoClient:   the OpenSSH stand-in of the fault campaign
+//                             ("after each crash we tested whether the
+//                             active ssh connections kept working ...").
+//  - DnsClient/DnsServer:     the periodic UDP DNS queries of the campaign.
+//
+// All are event-driven actors over SocketApi; they publish their results
+// through the node's StatsHub.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/socket.h"
+
+namespace newtos {
+class Node;
+}
+
+namespace newtos::apps {
+
+class BulkSender {
+ public:
+  struct Config {
+    net::Ipv4Addr dst;
+    std::uint16_t port = 5001;
+    std::uint32_t write_size = 8192;
+    int max_outstanding = 8;  // in-flight write() calls
+    std::string prefix = "iperf_tx";
+  };
+
+  BulkSender(Node& node, AppActor* app, Config cfg);
+  void start();
+
+  int outstanding() const { return outstanding_; }
+  bool connected() const { return connected_; }
+
+ private:
+  void open_and_connect(sim::Context& ctx);
+  void pump(sim::Context& ctx);
+  void on_event(net::TcpEvent ev);
+
+  Node& node_;
+  AppActor* app_;
+  Config cfg_;
+  SocketApi::Handle h_;
+  bool connected_ = false;
+  int outstanding_ = 0;
+  bool retry_scheduled_ = false;
+};
+
+class BulkReceiver {
+ public:
+  struct Config {
+    std::uint16_t port = 5001;
+    std::string prefix = "iperf_rx";
+    sim::Time sample_interval = 100 * sim::kMillisecond;
+    bool record_series = true;  // "<prefix>.mbps" time series (Figures 4/5)
+  };
+
+  BulkReceiver(Node& node, AppActor* app, Config cfg);
+  void start();
+
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  void on_listener_event(net::TcpEvent ev);
+  void drain(SocketApi::Handle h, sim::Context& ctx);
+  void sample();
+
+  Node& node_;
+  AppActor* app_;
+  Config cfg_;
+  SocketApi::Handle listener_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t last_sample_bytes_ = 0;
+};
+
+class EchoServer {
+ public:
+  struct Config {
+    std::uint16_t port = 22;
+    std::string prefix = "echo_srv";
+  };
+
+  EchoServer(Node& node, AppActor* app, Config cfg);
+  void start();
+
+ private:
+  void on_listener_event(net::TcpEvent ev);
+  void serve(SocketApi::Handle h, sim::Context& ctx);
+
+  Node& node_;
+  AppActor* app_;
+  Config cfg_;
+  SocketApi::Handle listener_;
+};
+
+class EchoClient {
+ public:
+  struct Config {
+    net::Ipv4Addr dst;
+    std::uint16_t port = 22;
+    sim::Time interval = 100 * sim::kMillisecond;
+    sim::Time timeout = 1 * sim::kSecond;
+    sim::Time reconnect_backoff = 250 * sim::kMillisecond;
+    std::string prefix = "echo";
+  };
+
+  EchoClient(Node& node, AppActor* app, Config cfg);
+  void start();
+
+  // Health observations for the fault campaign.
+  std::uint64_t ok() const { return ok_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t resets() const { return resets_; }
+  std::uint64_t reconnects() const { return reconnects_; }
+  bool connected() const { return connected_; }
+
+ private:
+  void connect_now(sim::Context& ctx);
+  void tick(sim::Context& ctx);
+  void on_event(net::TcpEvent ev);
+
+  Node& node_;
+  AppActor* app_;
+  Config cfg_;
+  SocketApi::Handle h_;
+  bool connected_ = false;
+  bool awaiting_reply_ = false;
+  std::uint64_t seq_sent_ = 0;
+  std::uint64_t seq_answered_ = 0;
+  std::uint64_t ok_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t resets_ = 0;
+  std::uint64_t reconnects_ = 0;
+};
+
+class DnsServer {
+ public:
+  explicit DnsServer(Node& node, AppActor* app, std::uint16_t port = 53);
+  void start();
+
+ private:
+  Node& node_;
+  AppActor* app_;
+  std::uint16_t port_;
+  SocketApi::Handle h_;
+};
+
+class DnsClient {
+ public:
+  struct Config {
+    net::Ipv4Addr dst;
+    std::uint16_t port = 53;
+    sim::Time interval = 200 * sim::kMillisecond;
+    std::string prefix = "dns";
+  };
+
+  DnsClient(Node& node, AppActor* app, Config cfg);
+  void start();
+
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t answered() const { return answered_; }
+
+ private:
+  void tick(sim::Context& ctx);
+
+  Node& node_;
+  AppActor* app_;
+  Config cfg_;
+  SocketApi::Handle h_;
+  bool ready_ = false;
+  std::uint64_t sent_ = 0;
+  std::uint64_t answered_ = 0;
+};
+
+}  // namespace newtos::apps

@@ -1,0 +1,67 @@
+// Node configurations: the rows of Table II as first-class citizens.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/pf.h"
+#include "src/net/tcp.h"
+
+namespace newtos {
+
+// How the networking stack is arranged on the node.
+enum class StackMode {
+  // Table II line 1: the original MINIX 3 — one combined stack server,
+  // separate drivers, applications, all timesharing ONE core, every message
+  // through synchronous kernel IPC.
+  kMinixSync,
+  // Line 2: NewtOS split stack (TCP/UDP/IP/PF/driver servers on dedicated
+  // cores, channels), but applications trap directly into the transports.
+  kSplit,
+  // Line 3 (and 6 with TSO): split stack plus the SYSCALL server.
+  kSplitSyscall,
+  // Line 4 (and 5 with TSO): one combined stack server on a dedicated core,
+  // separate driver servers, SYSCALL server.
+  kSingleServer,
+  // Line 7 reference: in-process stack with inline drivers and no IPC;
+  // also used as the remote traffic peer in every experiment.
+  kIdealMonolithic,
+};
+
+const char* to_string(StackMode m);
+
+struct NodeConfig {
+  std::string name = "newtos";
+  StackMode mode = StackMode::kSplitSyscall;
+  int nics = 1;
+  double wire_gbps = 1.0;  // per NIC (the wire object is external; this is
+                           // recorded for reporting only)
+  bool tso = false;
+  bool csum_offload = true;
+  bool use_pf = true;
+  // Synthetic rule table prepended to the defaults (Figure 5 recovers 1024).
+  int pf_filler_rules = 0;
+  double cost_scale = 1.0;
+  net::TcpOptions tcp;
+  std::uint32_t app_write_size = 8192;
+  // Addressing: NIC i sits on 10.(subnet_base+i).0.0/24; this host takes
+  // .1 when `left`, .2 otherwise.
+  std::uint8_t subnet_base = 1;
+  bool left = true;
+
+  bool split_stack() const {
+    return mode == StackMode::kSplit || mode == StackMode::kSplitSyscall;
+  }
+  bool has_syscall_server() const {
+    return mode == StackMode::kSplitSyscall ||
+           mode == StackMode::kSingleServer;
+  }
+  bool combined_stack() const {
+    return mode == StackMode::kMinixSync ||
+           mode == StackMode::kSingleServer ||
+           mode == StackMode::kIdealMonolithic;
+  }
+};
+
+}  // namespace newtos

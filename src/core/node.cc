@@ -1,0 +1,321 @@
+#include "src/core/node.h"
+
+#include "src/servers/driver_server.h"
+
+namespace newtos {
+
+const char* to_string(StackMode m) {
+  switch (m) {
+    case StackMode::kMinixSync: return "minix-sync";
+    case StackMode::kSplit: return "split";
+    case StackMode::kSplitSyscall: return "split+syscall";
+    case StackMode::kSingleServer: return "single-server+syscall";
+    case StackMode::kIdealMonolithic: return "ideal-monolithic";
+  }
+  return "?";
+}
+
+namespace {
+std::uint32_t g_mac_counter = 1;
+}  // namespace
+
+Node::Node(sim::Simulator& sim, NodeConfig cfg)
+    : sim_(sim), cfg_(std::move(cfg)), kernel_(&sim.costs()) {
+  env_.sim = &sim_;
+  env_.pools = &pools_;
+  env_.registry = &registry_;
+  env_.channels = &chmgr_;
+  env_.kernel = &kernel_;
+  env_.node_name = cfg_.name;
+  env_.knobs.ipc = cfg_.mode == StackMode::kMinixSync
+                       ? servers::IpcMode::kKernelSync
+                       : servers::IpcMode::kChannels;
+  env_.knobs.tso = cfg_.tso;
+  env_.knobs.csum_offload = cfg_.csum_offload;
+  env_.knobs.cost_scale = cfg_.cost_scale;
+  env_.knobs.legacy_per_packet =
+      cfg_.mode == StackMode::kMinixSync ? sim.costs().minix_stack_per_packet : 0;
+  env_.knobs.app_write_size = cfg_.app_write_size;
+  env_.get_queue = [this](const std::string& name, std::size_t cap) {
+    auto it = queues_.find(name);
+    if (it == queues_.end()) {
+      it = queues_
+               .emplace(name, std::make_unique<chan::Queue>(name, cap))
+               .first;
+    }
+    return it->second.get();
+  };
+  env_.get_pool = [this](const std::string& name, std::size_t size) {
+    auto it = named_pools_.find(name);
+    if (it == named_pools_.end()) {
+      chan::Pool& p = pools_.create(cfg_.name, name, size);
+      it = named_pools_.emplace(name, &p).first;
+    }
+    return it->second;
+  };
+  env_.report_crash = [this](servers::Server* s) {
+    stats_.log(sim_.now(), "crash: " + s->name());
+    if (rs_ != nullptr && s != rs_) rs_->child_crashed(s);
+  };
+  env_.sock_event = [this](char proto, std::uint32_t sock,
+                           std::uint8_t event) {
+    sockets_->dispatch_event(proto, sock, event);
+  };
+  sockets_ = std::make_unique<SocketApi>(*this);
+  build();
+}
+
+Node::~Node() = default;
+
+net::Ipv4Addr Node::addr(int nic_index) const {
+  return net::Ipv4Addr(10,
+                       static_cast<std::uint8_t>(cfg_.subnet_base + nic_index),
+                       0, cfg_.left ? 1 : 2);
+}
+
+net::Ipv4Addr Node::peer_addr(int nic_index) const {
+  return net::Ipv4Addr(10,
+                       static_cast<std::uint8_t>(cfg_.subnet_base + nic_index),
+                       0, cfg_.left ? 2 : 1);
+}
+
+net::IpConfig Node::make_ip_config() const {
+  net::IpConfig ip;
+  for (int i = 0; i < cfg_.nics; ++i) {
+    net::Interface ifc;
+    ifc.index = i;
+    ifc.mac = nics_[i]->mac();
+    ifc.addr = addr(i);
+    ifc.subnet = net::Ipv4Net{
+        net::Ipv4Addr(10, static_cast<std::uint8_t>(cfg_.subnet_base + i), 0,
+                      0),
+        24};
+    ifc.mtu = 1500;
+    ip.interfaces.push_back(ifc);
+  }
+  return ip;
+}
+
+std::vector<net::PfRule> Node::make_rules() const {
+  std::vector<net::PfRule> rules;
+  // Synthetic filler table (Figure 5 recovers a set of 1024 rules): block
+  // inbound TCP on high ports nothing uses.
+  for (int k = 0; k < cfg_.pf_filler_rules; ++k) {
+    net::PfRule r;
+    r.action = net::PfAction::Block;
+    r.dir = net::PfDir::In;
+    r.protocol = net::kProtoTcp;
+    r.dport = net::PortRange{static_cast<std::uint16_t>(40000 + k),
+                             static_cast<std::uint16_t>(40000 + k)};
+    rules.push_back(r);
+  }
+  // Outbound traffic keeps state so replies pass without a rule walk.
+  net::PfRule keep;
+  keep.action = net::PfAction::Pass;
+  keep.dir = net::PfDir::Out;
+  keep.keep_state = true;
+  rules.push_back(keep);
+  return rules;  // default action: pass
+}
+
+sim::SimCore* Node::fresh_core(const std::string& name) {
+  if (cfg_.mode == StackMode::kMinixSync) {
+    // One timeshared CPU for the entire system (Table II line 1).
+    if (shared_core_ == nullptr)
+      shared_core_ = &sim_.add_core(cfg_.name + ".cpu0");
+    return shared_core_;
+  }
+  return &sim_.add_core(cfg_.name + "." + name);
+}
+
+void Node::build() {
+  for (int i = 0; i < cfg_.nics; ++i) {
+    drv::SimNic::Config nc;
+    nc.hw_tso = true;
+    nc.hw_csum = true;
+    nics_.push_back(std::make_unique<drv::SimNic>(
+        sim_, pools_, net::MacAddr::local(g_mac_counter++), nc));
+  }
+
+  const net::IpConfig ip_cfg = make_ip_config();
+  auto src_for = [ip_cfg](net::Ipv4Addr dst) {
+    for (const auto& i : ip_cfg.interfaces) {
+      if (i.subnet.contains(dst)) return i.addr;
+    }
+    return ip_cfg.interfaces.empty() ? net::Ipv4Addr{}
+                                     : ip_cfg.interfaces.front().addr;
+  };
+  std::vector<int> ifindexes;
+  for (int i = 0; i < cfg_.nics; ++i) ifindexes.push_back(i);
+
+  auto rs = std::make_unique<servers::ReincarnationServer>(
+      &env_, fresh_core("rs"));
+  rs_ = rs.get();
+  servers_.emplace("rs", std::move(rs));
+  boot_order_.push_back("rs");
+
+  const bool inline_drivers = cfg_.mode == StackMode::kIdealMonolithic;
+
+  // Storage clients depend on the arrangement.
+  std::vector<std::string> store_clients;
+  if (cfg_.combined_stack()) {
+    store_clients = {servers::kStackName};
+  } else {
+    store_clients = {servers::kTcpName, servers::kUdpName, servers::kIpName};
+    if (cfg_.use_pf) store_clients.push_back(servers::kPfName);
+  }
+  auto store = std::make_unique<servers::StorageServer>(
+      &env_, fresh_core("store"), store_clients);
+  store_ = store.get();
+  servers_.emplace(servers::kStoreName, std::move(store));
+  boot_order_.push_back(servers::kStoreName);
+
+  if (!inline_drivers) {
+    for (int i = 0; i < cfg_.nics; ++i) {
+      const std::string name = servers::driver_name(i);
+      const std::string ip_peer = cfg_.combined_stack()
+                                      ? servers::kStackName
+                                      : servers::kIpName;
+      auto drv = std::make_unique<servers::DriverServer>(
+          &env_, fresh_core(name), nics_[i].get(), i, ip_peer);
+      servers_.emplace(name, std::move(drv));
+      boot_order_.push_back(name);
+    }
+  }
+
+  if (cfg_.combined_stack()) {
+    servers::StackServer::Config sc;
+    sc.ip = ip_cfg;
+    sc.ifindexes = ifindexes;
+    sc.rules = make_rules();
+    sc.tcp = cfg_.tcp;
+    sc.tcp.tso = cfg_.tso;
+    sc.use_pf = cfg_.use_pf;
+    sc.csum_offload = cfg_.csum_offload;
+    sc.inline_drivers = inline_drivers;
+    std::vector<drv::SimNic*> nic_ptrs;
+    for (auto& n : nics_) nic_ptrs.push_back(n.get());
+    auto stack = std::make_unique<servers::StackServer>(
+        &env_, fresh_core("stack"), sc, nic_ptrs);
+    stack_ = stack.get();
+    servers_.emplace(servers::kStackName, std::move(stack));
+    boot_order_.push_back(servers::kStackName);
+  } else {
+    if (cfg_.use_pf) {
+      auto pf = std::make_unique<servers::PfServer>(&env_, fresh_core("pf"),
+                                                    make_rules());
+      pf_ = pf.get();
+      servers_.emplace(servers::kPfName, std::move(pf));
+      boot_order_.push_back(servers::kPfName);
+    }
+    servers::IpServer::Config ic;
+    ic.ip = ip_cfg;
+    ic.ifindexes = ifindexes;
+    ic.use_pf = cfg_.use_pf;
+    ic.csum_offload = cfg_.csum_offload;
+    auto ip = std::make_unique<servers::IpServer>(&env_, fresh_core("ip"),
+                                                  ic);
+    ip_ = ip.get();
+    servers_.emplace(servers::kIpName, std::move(ip));
+    boot_order_.push_back(servers::kIpName);
+
+    net::TcpOptions topts = cfg_.tcp;
+    topts.tso = cfg_.tso;
+    auto tcp = std::make_unique<servers::TcpServer>(&env_, fresh_core("tcp"),
+                                                    topts, src_for);
+    tcp_ = tcp.get();
+    servers_.emplace(servers::kTcpName, std::move(tcp));
+    boot_order_.push_back(servers::kTcpName);
+
+    auto udp = std::make_unique<servers::UdpServer>(&env_, fresh_core("udp"),
+                                                    src_for);
+    udp_ = udp.get();
+    servers_.emplace(servers::kUdpName, std::move(udp));
+    boot_order_.push_back(servers::kUdpName);
+  }
+
+  if (cfg_.has_syscall_server()) {
+    const std::string tcp_target =
+        cfg_.combined_stack() ? servers::kStackName : servers::kTcpName;
+    const std::string udp_target =
+        cfg_.combined_stack() ? servers::kStackName : servers::kUdpName;
+    auto sys = std::make_unique<servers::SyscallServer>(
+        &env_, fresh_core("syscall"), tcp_target, udp_target);
+    syscall_ = sys.get();
+    servers_.emplace(servers::kSyscallName, std::move(sys));
+    boot_order_.push_back(servers::kSyscallName);
+  }
+
+  for (auto& [name, srv] : servers_) {
+    if (srv.get() != rs_) rs_->manage(srv.get());
+  }
+}
+
+void Node::attach_wire(int nic_index, drv::Wire* wire, int end) {
+  nics_.at(nic_index)->attach_wire(wire, end);
+}
+
+void Node::boot() {
+  for (const auto& name : boot_order_) servers_[name]->boot(false);
+}
+
+AppActor* Node::add_app(const std::string& name) {
+  auto app = std::make_unique<AppActor>(&env_, name, fresh_core(name));
+  AppActor* p = app.get();
+  apps_.push_back(std::move(app));
+  p->boot(false);
+  return p;
+}
+
+servers::Server* Node::server(const std::string& name) {
+  auto it = servers_.find(name);
+  return it == servers_.end() ? nullptr : it->second.get();
+}
+
+net::TcpEngine* Node::tcp_engine() const {
+  if (stack_ != nullptr) return stack_->tcp_engine();
+  return tcp_ != nullptr ? tcp_->engine() : nullptr;
+}
+
+net::UdpEngine* Node::udp_engine() const {
+  if (stack_ != nullptr) return stack_->udp_engine();
+  return udp_ != nullptr ? udp_->engine() : nullptr;
+}
+
+servers::Server* Node::transport_server(char proto) const {
+  (void)proto;
+  if (stack_ != nullptr) return stack_;
+  return proto == 'T' ? static_cast<servers::Server*>(tcp_)
+                      : static_cast<servers::Server*>(udp_);
+}
+
+net::IpEngine* Node::ip_engine() const {
+  if (stack_ != nullptr) return stack_->ip_engine();
+  return ip_ != nullptr ? ip_->engine() : nullptr;
+}
+
+std::vector<std::string> Node::injectable() const {
+  std::vector<std::string> out;
+  if (cfg_.combined_stack()) {
+    out.push_back(servers::kStackName);
+  } else {
+    out.push_back(servers::kTcpName);
+    out.push_back(servers::kUdpName);
+    out.push_back(servers::kIpName);
+    if (cfg_.use_pf) out.push_back(servers::kPfName);
+  }
+  for (int i = 0; i < cfg_.nics; ++i) {
+    if (cfg_.mode != StackMode::kIdealMonolithic)
+      out.push_back(servers::driver_name(i));
+  }
+  return out;
+}
+
+void Node::manual_restart(const std::string& name) {
+  servers::Server* s = server(name);
+  if (s == nullptr) return;
+  stats_.log(sim_.now(), "manual restart: " + name);
+  if (s->alive()) s->kill();  // reincarnation brings it back
+}
+
+}  // namespace newtos

@@ -1,0 +1,122 @@
+// Node: one simulated machine — cores, kernel, pools, registry, NICs and the
+// networking stack arranged per NodeConfig (Figure 1 / Figure 2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chan/pool.h"
+#include "src/chan/registry.h"
+#include "src/core/config.h"
+#include "src/core/socket.h"
+#include "src/core/stats.h"
+#include "src/drv/nic.h"
+#include "src/drv/wire.h"
+#include "src/kipc/kipc.h"
+#include "src/servers/ip_server.h"
+#include "src/servers/pf_server.h"
+#include "src/servers/reincarnation.h"
+#include "src/servers/stack_server.h"
+#include "src/servers/storage.h"
+#include "src/servers/syscall_server.h"
+#include "src/servers/tcp_server.h"
+#include "src/servers/udp_server.h"
+#include "src/sim/sim.h"
+
+namespace newtos {
+
+class Node {
+ public:
+  Node(sim::Simulator& sim, NodeConfig cfg);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // Attach NIC `i` to a wire endpoint before (or after) boot.
+  void attach_wire(int nic_index, drv::Wire* wire, int end);
+  // Boots every server (reincarnation and storage first).
+  void boot();
+
+  // --- topology accessors ---------------------------------------------------------
+  drv::SimNic* nic(int i) { return nics_.at(i).get(); }
+  int nic_count() const { return static_cast<int>(nics_.size()); }
+  net::Ipv4Addr addr(int nic_index) const;
+  net::Ipv4Addr peer_addr(int nic_index) const;  // the other host's address
+
+  // --- applications ------------------------------------------------------------------
+  AppActor* add_app(const std::string& name);
+  SocketApi& sockets() { return *sockets_; }
+
+  // --- servers -------------------------------------------------------------------------
+  servers::Server* server(const std::string& name);
+  servers::ReincarnationServer* reincarnation() { return rs_; }
+  servers::SyscallServer* syscall() { return syscall_; }
+  servers::StorageServer* storage() { return store_; }
+  net::TcpEngine* tcp_engine() const;
+  net::UdpEngine* udp_engine() const;
+  // The server hosting the given transport (for fast-path context borrowing).
+  servers::Server* transport_server(char proto) const;
+  net::IpEngine* ip_engine() const;
+  servers::StackServer* stack_server() { return stack_; }
+
+  // Components eligible for fault injection (Table III).
+  std::vector<std::string> injectable() const;
+  // Operator-driven restart (the paper's "manually restarting ... solved the
+  // problem" cases).
+  void manual_restart(const std::string& name);
+
+  // The unconverted synchronous part of the system (select/VFS merge) hung:
+  // only a reboot helps (3 cases in Table IV).  Modelled as a flag set by
+  // the fault injector; see DESIGN.md.
+  void set_requires_reboot() { requires_reboot_ = true; }
+  bool requires_reboot() const { return requires_reboot_; }
+
+  const NodeConfig& config() const { return cfg_; }
+  sim::Simulator& sim() { return sim_; }
+  servers::NodeEnv& node_env() { return env_; }
+  chan::PoolRegistry& pools() { return pools_; }
+  StatsHub& stats() { return stats_; }
+
+ private:
+  void build();
+  net::IpConfig make_ip_config() const;
+  std::vector<net::PfRule> make_rules() const;
+  sim::SimCore* fresh_core(const std::string& name);
+
+  sim::Simulator& sim_;
+  NodeConfig cfg_;
+
+  chan::PoolRegistry pools_;
+  chan::Registry registry_;
+  chan::ChannelManager chmgr_;
+  kipc::KernelIpc kernel_;
+  servers::NodeEnv env_;
+  StatsHub stats_;
+
+  std::map<std::string, std::unique_ptr<chan::Queue>> queues_;
+  std::map<std::string, chan::Pool*> named_pools_;
+  std::vector<std::unique_ptr<drv::SimNic>> nics_;
+
+  std::map<std::string, std::unique_ptr<servers::Server>> servers_;
+  std::vector<std::string> boot_order_;
+  std::vector<std::unique_ptr<AppActor>> apps_;
+
+  servers::ReincarnationServer* rs_ = nullptr;
+  servers::StorageServer* store_ = nullptr;
+  servers::SyscallServer* syscall_ = nullptr;
+  servers::TcpServer* tcp_ = nullptr;
+  servers::UdpServer* udp_ = nullptr;
+  servers::IpServer* ip_ = nullptr;
+  servers::PfServer* pf_ = nullptr;
+  servers::StackServer* stack_ = nullptr;
+
+  std::unique_ptr<SocketApi> sockets_;
+  sim::SimCore* shared_core_ = nullptr;  // MINIX mode: one core for all
+  bool requires_reboot_ = false;
+};
+
+}  // namespace newtos

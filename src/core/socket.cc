@@ -1,0 +1,304 @@
+#include "src/core/socket.h"
+
+#include "src/core/node.h"
+#include "src/servers/proto.h"
+
+namespace newtos {
+
+AppActor::AppActor(servers::NodeEnv* env, std::string name,
+                   sim::SimCore* core)
+    : Server(env, std::move(name), core) {}
+
+void AppActor::set_main(std::function<void(sim::Context&)> main) {
+  main_ = std::move(main);
+}
+
+void AppActor::start(bool restart) {
+  announce(restart);
+  if (main_) post_control(main_, 300);
+}
+
+void AppActor::call(std::function<void(sim::Context&)> fn, sim::Cycles cost) {
+  post_control(std::move(fn), cost);
+}
+
+void AppActor::call_after(sim::Time delay,
+                          std::function<void(sim::Context&)> fn) {
+  const std::uint32_t inc = incarnation();
+  sim().after(delay, [this, inc, fn = std::move(fn)] {
+    if (!alive() || incarnation() != inc) return;
+    post_control(fn, 200);
+  });
+}
+
+// --- SocketApi --------------------------------------------------------------------
+
+SocketApi::SocketApi(Node& node) : node_(node) {}
+
+net::TcpEngine* SocketApi::tcp() const { return node_.tcp_engine(); }
+net::UdpEngine* SocketApi::udp() const { return node_.udp_engine(); }
+
+SocketApi::DeliverFn SocketApi::to_app(
+    AppActor& app, std::function<void(const chan::Message&)> on_reply) {
+  AppActor* a = &app;
+  return [a, on_reply = std::move(on_reply)](const chan::Message& r) {
+    // Reply delivery is a kernel message back into the app's address space.
+    a->post_kernel_msg([on_reply, r](sim::Context&) { on_reply(r); }, 100);
+  };
+}
+
+void SocketApi::route(AppActor& app, char proto, chan::Message m,
+                      DeliverFn deliver) {
+  m.req_id = next_req_++;
+  const auto& cfg = node_.config();
+  const auto& costs = node_.sim().costs();
+
+  // The app-side trap for the call itself.
+  app.cur().charge(cfg.mode == StackMode::kIdealMonolithic
+                       ? 80
+                       : costs.trap_hot +
+                             static_cast<sim::Cycles>(
+                                 costs.copy_per_byte * sizeof(chan::Message)));
+
+  if (cfg.has_syscall_server() && node_.syscall() != nullptr) {
+    node_.syscall()->submit(proto, m, std::move(deliver));
+    return;
+  }
+  if (cfg.combined_stack()) {
+    servers::StackServer* stack = node_.stack_server();
+    if (stack == nullptr || !stack->alive()) {
+      chan::Message err;
+      err.opcode = servers::kSockReply;
+      err.req_id = m.req_id;
+      err.flags = 1;
+      deliver(err);
+      return;
+    }
+    // Direct kernel IPC into the combined stack: it pays the trap.
+    const sim::Cycles toll = cfg.mode == StackMode::kIdealMonolithic
+                                 ? 0
+                                 : costs.trap_cold - costs.trap_hot;
+    stack->post_kernel_msg(
+        [stack, proto, m, deliver = std::move(deliver)](sim::Context& ctx) {
+          stack->handle_sock_request(proto, m, ctx, deliver);
+        },
+        toll);
+    return;
+  }
+  // Table II line 2: apps trap straight into the transports, polluting the
+  // dedicated server's caches — charged as a cold trap on its core, plus the
+  // synchronous reply (trap + IPI + context restore on the blocked app).
+  const std::string target =
+      proto == 'T' ? servers::kTcpName : servers::kUdpName;
+  servers::Server* srv = node_.server(target);
+  const sim::Cycles reply_toll =
+      costs.trap_hot + costs.ipi + costs.mwait_wakeup;
+  auto charge_reply = [srv, reply_toll, deliver = std::move(deliver)](
+                          const chan::Message& r) {
+    srv->cur().charge(reply_toll);
+    deliver(r);
+  };
+  deliver = charge_reply;
+  if (srv == nullptr || !srv->alive()) {
+    chan::Message err;
+    err.opcode = servers::kSockReply;
+    err.req_id = m.req_id;
+    err.flags = 1;
+    deliver(err);
+    return;
+  }
+  if (proto == 'T') {
+    auto* tcp_srv = static_cast<servers::TcpServer*>(srv);
+    tcp_srv->post_kernel_msg(
+        [tcp_srv, m, deliver = std::move(deliver)](sim::Context& ctx) {
+          tcp_srv->handle_sock_request(m, ctx, deliver);
+        },
+        costs.trap_cold);
+  } else {
+    auto* udp_srv = static_cast<servers::UdpServer*>(srv);
+    udp_srv->post_kernel_msg(
+        [udp_srv, m, deliver = std::move(deliver)](sim::Context& ctx) {
+          udp_srv->handle_sock_request(m, ctx, deliver);
+        },
+        costs.trap_cold);
+  }
+}
+
+void SocketApi::open(AppActor& app, char proto, OpenCb cb) {
+  chan::Message m;
+  m.opcode = servers::kSockOpen;
+  route(app, proto, m,
+        to_app(app, [proto, cb = std::move(cb)](const chan::Message& r) {
+          Handle h;
+          h.proto = proto;
+          h.sock = r.flags & 1 ? 0 : static_cast<std::uint32_t>(r.arg0);
+          cb(h);
+        }));
+}
+
+void SocketApi::bind(AppActor& app, Handle h, net::Ipv4Addr addr,
+                     std::uint16_t port, StatusCb cb) {
+  chan::Message m;
+  m.opcode = servers::kSockBind;
+  m.socket = h.sock;
+  m.arg0 = addr.value;
+  m.arg1 = port;
+  route(app, h.proto, m,
+        to_app(app, [cb = std::move(cb)](const chan::Message& r) {
+          cb((r.flags & 1) == 0 && r.arg0 != 0);
+        }));
+}
+
+void SocketApi::listen(AppActor& app, Handle h, int backlog, StatusCb cb) {
+  chan::Message m;
+  m.opcode = servers::kSockListen;
+  m.socket = h.sock;
+  m.arg0 = static_cast<std::uint64_t>(backlog);
+  route(app, h.proto, m,
+        to_app(app, [cb = std::move(cb)](const chan::Message& r) {
+          cb((r.flags & 1) == 0 && r.arg0 != 0);
+        }));
+}
+
+void SocketApi::connect(AppActor& app, Handle h, net::Ipv4Addr addr,
+                        std::uint16_t port, StatusCb cb) {
+  chan::Message m;
+  m.opcode = servers::kSockConnect;
+  m.socket = h.sock;
+  m.arg0 = addr.value;
+  m.arg1 = port;
+  route(app, h.proto, m,
+        to_app(app, [cb = std::move(cb)](const chan::Message& r) {
+          cb((r.flags & 1) == 0 && r.arg0 != 0);
+        }));
+}
+
+void SocketApi::close(AppActor& app, Handle h, StatusCb cb) {
+  clear_event_handler(h);
+  chan::Message m;
+  m.opcode = servers::kSockClose;
+  m.socket = h.sock;
+  route(app, h.proto, m,
+        to_app(app, [cb = std::move(cb)](const chan::Message& r) {
+          cb((r.flags & 1) == 0);
+        }));
+}
+
+void SocketApi::send(AppActor& app, Handle h, std::uint32_t len,
+                     StatusCb cb) {
+  net::TcpEngine* eng = tcp();
+  if (eng == nullptr) {
+    app.call([cb](sim::Context&) { cb(false); });
+    return;
+  }
+  // The socket buffer is exported to the application (Section V-B): the app
+  // writes payload into the transport's pool directly, paying the copy.
+  chan::RichPtr payload = eng->alloc_payload(len);
+  if (!payload.valid()) {
+    app.call([cb](sim::Context&) { cb(false); });
+    return;
+  }
+  app.cur().charge(node_.sim().costs().copy_cost(len));
+  chan::Message m;
+  m.opcode = servers::kSockSend;
+  m.socket = h.sock;
+  m.ptr = payload;
+  route(app, 'T', m,
+        to_app(app, [cb = std::move(cb)](const chan::Message& r) {
+          cb((r.flags & 1) == 0 && r.arg0 != 0);
+        }));
+}
+
+void SocketApi::sendto(AppActor& app, Handle h, std::uint32_t len,
+                       net::Ipv4Addr addr, std::uint16_t port, StatusCb cb) {
+  net::UdpEngine* eng = udp();
+  if (eng == nullptr) {
+    app.call([cb](sim::Context&) { cb(false); });
+    return;
+  }
+  chan::RichPtr payload = eng->alloc_payload(len);
+  if (!payload.valid()) {
+    app.call([cb](sim::Context&) { cb(false); });
+    return;
+  }
+  app.cur().charge(node_.sim().costs().copy_cost(len));
+  chan::Message m;
+  m.opcode = servers::kSockSendTo;
+  m.socket = h.sock;
+  m.ptr = payload;
+  m.arg0 = addr.value;
+  m.arg1 = port;
+  route(app, 'U', m,
+        to_app(app, [cb = std::move(cb)](const chan::Message& r) {
+          cb((r.flags & 1) == 0 && r.arg0 != 0);
+        }));
+}
+
+std::size_t SocketApi::send_space(Handle h) const {
+  net::TcpEngine* eng = tcp();
+  return eng == nullptr ? 0 : eng->send_space(h.sock);
+}
+
+std::size_t SocketApi::recv(AppActor& app, Handle h,
+                            std::span<std::byte> out) {
+  net::TcpEngine* eng = tcp();
+  servers::Server* srv = node_.transport_server('T');
+  if (eng == nullptr || srv == nullptr) return 0;
+  servers::Server::BorrowContext borrow(*srv, app.cur());
+  const std::size_t n = eng->recv(h.sock, out);
+  app.cur().charge(node_.sim().costs().copy_cost(
+      static_cast<std::int64_t>(n)));
+  return n;
+}
+
+std::size_t SocketApi::recv_available(Handle h) const {
+  net::TcpEngine* eng = tcp();
+  return eng == nullptr ? 0 : eng->recv_available(h.sock);
+}
+
+std::optional<net::UdpEngine::Datagram> SocketApi::recvfrom(AppActor& app,
+                                                            Handle h) {
+  net::UdpEngine* eng = udp();
+  servers::Server* srv = node_.transport_server('U');
+  if (eng == nullptr || srv == nullptr) return std::nullopt;
+  servers::Server::BorrowContext borrow(*srv, app.cur());
+  auto d = eng->recv(h.sock);
+  if (d) {
+    app.cur().charge(node_.sim().costs().copy_cost(
+        static_cast<std::int64_t>(d->data.size())));
+  }
+  return d;
+}
+
+std::optional<SocketApi::Handle> SocketApi::accept(AppActor& app, Handle h) {
+  net::TcpEngine* eng = tcp();
+  servers::Server* srv = node_.transport_server('T');
+  if (eng == nullptr || srv == nullptr) return std::nullopt;
+  servers::Server::BorrowContext borrow(*srv, app.cur());
+  auto child = eng->accept(h.sock);
+  if (!child) return std::nullopt;
+  return Handle{'T', *child};
+}
+
+void SocketApi::set_event_handler(Handle h, AppActor* app, EventCb cb) {
+  handlers_[{h.proto, h.sock}] = {app, std::move(cb)};
+}
+
+void SocketApi::clear_event_handler(Handle h) {
+  handlers_.erase({h.proto, h.sock});
+}
+
+void SocketApi::dispatch_event(char proto, std::uint32_t sock,
+                               std::uint8_t event) {
+  auto it = handlers_.find({proto, sock});
+  if (it == handlers_.end()) return;
+  AppActor* app = it->second.first;
+  EventCb cb = it->second.second;
+  app->post_kernel_msg(
+      [cb, event](sim::Context&) {
+        cb(static_cast<net::TcpEvent>(event));
+      },
+      80);
+}
+
+}  // namespace newtos

@@ -1,0 +1,103 @@
+// Application actors and the socket API.
+//
+// Applications are event-driven actors on application cores.  Their POSIX
+// system calls become kernel-IPC messages (Section V-B): to the SYSCALL
+// server when the configuration has one, straight into the transports
+// otherwise (Table II line 2 — the transports then pay the trapping toll).
+// The data path bypasses the SYSCALL server entirely: socket buffers are
+// exported to the application, which reads received data and writes send
+// payloads directly into the transport's pool (Section V-B, "the actual
+// data bypass the SYSCALL").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+
+#include "src/core/config.h"
+#include "src/net/tcp.h"
+#include "src/net/udp.h"
+#include "src/servers/server.h"
+
+namespace newtos {
+
+class Node;
+
+// An application process pinned to an application core.
+class AppActor : public servers::Server {
+ public:
+  AppActor(servers::NodeEnv* env, std::string name, sim::SimCore* core);
+
+  // Entry point, run once at boot.
+  void set_main(std::function<void(sim::Context&)> main);
+  // Schedules `fn` on this app's core.
+  void call(std::function<void(sim::Context&)> fn, sim::Cycles cost = 200);
+  // Schedules `fn` after a delay (sleep/poll loops).
+  void call_after(sim::Time delay, std::function<void(sim::Context&)> fn);
+
+ protected:
+  void start(bool restart) override;
+  void on_message(const std::string&, const chan::Message&,
+                  sim::Context&) override {}
+
+ private:
+  std::function<void(sim::Context&)> main_;
+};
+
+class SocketApi {
+ public:
+  struct Handle {
+    char proto = 'T';
+    std::uint32_t sock = 0;
+    bool valid() const { return sock != 0; }
+  };
+  using OpenCb = std::function<void(Handle)>;  // !valid() on failure
+  using StatusCb = std::function<void(bool ok)>;
+  using EventCb = std::function<void(net::TcpEvent)>;
+
+  explicit SocketApi(Node& node);
+
+  // --- control path (kernel IPC / SYSCALL server) --------------------------------
+  void open(AppActor& app, char proto, OpenCb cb);
+  void bind(AppActor& app, Handle h, net::Ipv4Addr addr, std::uint16_t port,
+            StatusCb cb);
+  void listen(AppActor& app, Handle h, int backlog, StatusCb cb);
+  void connect(AppActor& app, Handle h, net::Ipv4Addr addr,
+               std::uint16_t port, StatusCb cb);
+  void close(AppActor& app, Handle h, StatusCb cb);
+  // Copies `len` bytes into the exported socket buffer and submits a send.
+  void send(AppActor& app, Handle h, std::uint32_t len, StatusCb cb);
+  void sendto(AppActor& app, Handle h, std::uint32_t len, net::Ipv4Addr addr,
+              std::uint16_t port, StatusCb cb);
+
+  // --- data fast path (exported socket buffers, Section V-B) -----------------------
+  std::size_t send_space(Handle h) const;
+  std::size_t recv(AppActor& app, Handle h, std::span<std::byte> out);
+  std::size_t recv_available(Handle h) const;
+  std::optional<net::UdpEngine::Datagram> recvfrom(AppActor& app, Handle h);
+  std::optional<Handle> accept(AppActor& app, Handle h);
+
+  // --- events ------------------------------------------------------------------------
+  void set_event_handler(Handle h, AppActor* app, EventCb cb);
+  void clear_event_handler(Handle h);
+  // Wired to NodeEnv::sock_event by the node.
+  void dispatch_event(char proto, std::uint32_t sock, std::uint8_t event);
+
+  net::TcpEngine* tcp() const;
+  net::UdpEngine* udp() const;
+
+ private:
+  using DeliverFn = std::function<void(const chan::Message&)>;
+  void route(AppActor& app, char proto, chan::Message m, DeliverFn deliver);
+  DeliverFn to_app(AppActor& app, std::function<void(const chan::Message&)>
+                                      on_reply);
+
+  Node& node_;
+  std::map<std::pair<char, std::uint32_t>, std::pair<AppActor*, EventCb>>
+      handlers_;
+  std::uint64_t next_req_ = 1;
+};
+
+}  // namespace newtos

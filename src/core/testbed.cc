@@ -1,0 +1,48 @@
+#include "src/core/testbed.h"
+
+namespace newtos {
+
+Testbed::Testbed(const TestbedOptions& opts) {
+  NodeConfig left;
+  left.name = "newtos";
+  left.mode = opts.mode;
+  left.nics = opts.nics;
+  left.wire_gbps = opts.gbps;
+  left.tso = opts.tso;
+  left.csum_offload = opts.csum_offload;
+  left.use_pf = opts.use_pf;
+  left.pf_filler_rules = opts.pf_filler_rules;
+  left.app_write_size = opts.app_write_size;
+  left.cost_scale = opts.cost_scale;
+  left.left = true;
+
+  NodeConfig right;
+  right.name = "peer";
+  right.mode = StackMode::kIdealMonolithic;
+  right.nics = opts.nics;
+  right.wire_gbps = opts.gbps;
+  right.tso = true;  // the peer is never the bottleneck
+  right.csum_offload = true;
+  right.use_pf = false;
+  right.cost_scale = 0.1;
+  right.left = false;
+
+  left_ = std::make_unique<Node>(sim_, left);
+  right_ = std::make_unique<Node>(sim_, right);
+
+  for (int i = 0; i < opts.nics; ++i) {
+    drv::Wire::Config wc;
+    wc.bits_per_sec = opts.gbps * 1e9;
+    wc.propagation = opts.wire_latency;
+    wc.loss = opts.loss;
+    wc.seed = opts.seed + static_cast<std::uint64_t>(i);
+    wires_.push_back(std::make_unique<drv::Wire>(sim_, wc));
+    left_->attach_wire(i, wires_.back().get(), 0);
+    right_->attach_wire(i, wires_.back().get(), 1);
+  }
+
+  left_->boot();
+  right_->boot();
+}
+
+}  // namespace newtos

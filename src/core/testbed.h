@@ -1,0 +1,51 @@
+// Testbed: two hosts connected by N point-to-point gigabit links — the
+// paper's evaluation machine (NewtOS with 5 Intel PRO/1000 adapters) facing
+// a fast traffic peer.  Shared by the tests, the benchmarks and the
+// examples.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/core/node.h"
+#include "src/drv/wire.h"
+#include "src/sim/sim.h"
+
+namespace newtos {
+
+struct TestbedOptions {
+  StackMode mode = StackMode::kSplitSyscall;
+  int nics = 1;
+  double gbps = 1.0;
+  bool tso = false;
+  bool csum_offload = true;
+  bool use_pf = true;
+  int pf_filler_rules = 0;
+  double loss = 0.0;
+  std::uint32_t app_write_size = 8192;
+  double cost_scale = 1.0;  // DUT cost scale (row 7 models a faster kernel)
+  sim::Time wire_latency = 20 * sim::kMicrosecond;
+  std::uint64_t seed = 42;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(const TestbedOptions& opts);
+
+  sim::Simulator& sim() { return sim_; }
+  Node& newtos() { return *left_; }  // the system under test
+  Node& peer() { return *right_; }   // ideal-monolithic traffic peer
+  drv::Wire& wire(int i) { return *wires_.at(i); }
+  int nic_count() const { return static_cast<int>(wires_.size()); }
+
+  // Runs the simulation until the given virtual time.
+  void run_until(sim::Time t) { sim_.run_until(t); }
+
+ private:
+  sim::Simulator sim_;
+  std::unique_ptr<Node> left_;
+  std::unique_ptr<Node> right_;
+  std::vector<std::unique_ptr<drv::Wire>> wires_;
+};
+
+}  // namespace newtos

@@ -1,0 +1,196 @@
+#include "src/drv/nic.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/net/checksum.h"
+#include "src/net/headers.h"
+
+namespace newtos::drv {
+
+SimNic::SimNic(sim::Simulator& sim, chan::PoolRegistry& pools,
+               net::MacAddr mac, Config cfg)
+    : sim_(sim), pools_(pools), mac_(mac), cfg_(cfg) {}
+
+void SimNic::attach_wire(Wire* wire, int end) {
+  wire_ = wire;
+  wire_end_ = end;
+  wire_->attach(end, [this](std::vector<std::byte>&& bytes) {
+    wire_deliver(std::move(bytes));
+  });
+}
+
+bool SimNic::tx_post(net::TxFrame frame, std::uint64_t cookie) {
+  if (static_cast<int>(tx_ring_.size()) >= cfg_.tx_ring) {
+    ++stats_.tx_ring_full;
+    return false;
+  }
+  ++stats_.tx_descs;
+  tx_ring_.push_back(TxEntry{std::move(frame), cookie});
+  if (!tx_pumping_) pump_tx();
+  return true;
+}
+
+bool SimNic::rx_post(chan::RichPtr buffer) {
+  if (static_cast<int>(rx_ring_.size()) >= cfg_.rx_ring) return false;
+  rx_ring_.push_back(buffer);
+  return true;
+}
+
+void SimNic::pump_tx() {
+  if (tx_ring_.empty() || !link_up_ || wire_ == nullptr) {
+    tx_pumping_ = false;
+    return;
+  }
+  tx_pumping_ = true;
+  const TxEntry& entry = tx_ring_.front();
+
+  // Scatter-gather DMA: the device walks the chain and serializes.
+  std::vector<std::byte> bytes =
+      net::flatten(pools_, entry.frame.header, entry.frame.payload);
+
+  sim::Time done_at = sim_.now();
+  if (entry.frame.offload.tso && cfg_.hw_tso &&
+      entry.frame.payload_len() > entry.frame.offload.mss) {
+    for (auto& piece : tso_split(bytes, entry.frame.offload.mss)) {
+      ++stats_.tx_frames;
+      done_at = wire_->transmit(wire_end_, std::move(piece));
+    }
+  } else {
+    ++stats_.tx_frames;
+    done_at = wire_->transmit(wire_end_, std::move(bytes));
+  }
+
+  const std::uint64_t cookie = entry.cookie;
+  const std::uint32_t epoch = reset_epoch_;
+  sim_.at(done_at, [this, cookie, epoch] {
+    if (epoch != reset_epoch_) return;  // reset while in flight
+    assert(!tx_ring_.empty() && tx_ring_.front().cookie == cookie);
+    tx_ring_.pop_front();
+    if (on_tx_done_) on_tx_done_(cookie, true);
+    pump_tx();
+  });
+}
+
+// Splits a flattened ETH+IP+TCP superframe into MTU-sized frames, patching
+// sequence numbers, IP ids/lengths and the IP header checksum — exactly the
+// job a TSO engine does in hardware.
+std::vector<std::vector<std::byte>> SimNic::tso_split(
+    const std::vector<std::byte>& super, std::uint16_t mss) const {
+  std::vector<std::vector<std::byte>> out;
+  constexpr std::size_t kHdr =
+      net::kEthHeaderLen + net::kIpHeaderLen + net::kTcpHeaderLen;
+  if (super.size() <= kHdr) {
+    out.emplace_back(super);
+    return out;
+  }
+  const std::size_t payload_len = super.size() - kHdr;
+
+  // Header template fields we patch per piece.
+  std::uint32_t base_seq;
+  std::memcpy(&base_seq, super.data() + net::kEthHeaderLen +
+                             net::kIpHeaderLen + 4, 4);
+  base_seq = __builtin_bswap32(base_seq);
+  std::uint16_t base_id;
+  std::memcpy(&base_id, super.data() + net::kEthHeaderLen + 4, 2);
+  base_id = static_cast<std::uint16_t>(__builtin_bswap16(base_id));
+  const std::uint8_t flags =
+      std::to_integer<std::uint8_t>(
+          super[net::kEthHeaderLen + net::kIpHeaderLen + 13]);
+
+  std::size_t off = 0;
+  std::uint16_t piece_idx = 0;
+  while (off < payload_len) {
+    const std::size_t n = std::min<std::size_t>(mss, payload_len - off);
+    const bool last = off + n == payload_len;
+    std::vector<std::byte> frame(kHdr + n);
+    std::memcpy(frame.data(), super.data(), kHdr);
+    std::memcpy(frame.data() + kHdr, super.data() + kHdr + off, n);
+
+    // Patch IP: total_length, id, checksum.
+    const std::uint16_t tot =
+        static_cast<std::uint16_t>(net::kIpHeaderLen + net::kTcpHeaderLen + n);
+    frame[net::kEthHeaderLen + 2] =
+        std::byte{static_cast<std::uint8_t>(tot >> 8)};
+    frame[net::kEthHeaderLen + 3] = std::byte{static_cast<std::uint8_t>(tot)};
+    const std::uint16_t id = static_cast<std::uint16_t>(base_id + piece_idx);
+    frame[net::kEthHeaderLen + 4] =
+        std::byte{static_cast<std::uint8_t>(id >> 8)};
+    frame[net::kEthHeaderLen + 5] = std::byte{static_cast<std::uint8_t>(id)};
+    frame[net::kEthHeaderLen + 10] = std::byte{0};
+    frame[net::kEthHeaderLen + 11] = std::byte{0};
+    const std::uint16_t ipsum = net::checksum(std::span<const std::byte>(
+        frame.data() + net::kEthHeaderLen, net::kIpHeaderLen));
+    frame[net::kEthHeaderLen + 10] =
+        std::byte{static_cast<std::uint8_t>(ipsum >> 8)};
+    frame[net::kEthHeaderLen + 11] =
+        std::byte{static_cast<std::uint8_t>(ipsum)};
+
+    // Patch TCP: seq, and clear FIN/PSH on all but the last piece.
+    const std::uint32_t seq =
+        base_seq + static_cast<std::uint32_t>(off);
+    const std::size_t tcp_at = net::kEthHeaderLen + net::kIpHeaderLen;
+    frame[tcp_at + 4] = std::byte{static_cast<std::uint8_t>(seq >> 24)};
+    frame[tcp_at + 5] = std::byte{static_cast<std::uint8_t>(seq >> 16)};
+    frame[tcp_at + 6] = std::byte{static_cast<std::uint8_t>(seq >> 8)};
+    frame[tcp_at + 7] = std::byte{static_cast<std::uint8_t>(seq)};
+    const std::uint8_t piece_flags =
+        last ? flags
+             : static_cast<std::uint8_t>(
+                   flags &
+                   ~(net::tcpflag::kFin | net::tcpflag::kPsh));
+    frame[tcp_at + 13] = std::byte{piece_flags};
+
+    out.push_back(std::move(frame));
+    off += n;
+    ++piece_idx;
+  }
+  return out;
+}
+
+void SimNic::wire_deliver(std::vector<std::byte>&& bytes) {
+  if (!link_up_ || wedged_) return;
+  if (bytes.size() < net::kEthHeaderLen) return;
+  // MAC filter: us or broadcast.
+  net::MacAddr dst;
+  for (int i = 0; i < 6; ++i)
+    dst.bytes[i] = std::to_integer<std::uint8_t>(bytes[i]);
+  if (dst != mac_ && !dst.is_broadcast()) return;
+
+  if (rx_ring_.empty()) {
+    ++stats_.rx_no_buffer;
+    return;
+  }
+  chan::RichPtr buf = rx_ring_.front();
+  rx_ring_.pop_front();
+  chan::Pool* pool = pools_.find(buf.pool);
+  if (pool == nullptr || bytes.size() > buf.length ||
+      !pool->dma_write(buf, bytes)) {
+    ++stats_.rx_bad_addr;  // stale buffer (pool reset under us): drop
+    return;
+  }
+  ++stats_.rx_frames;
+  if (on_rx_) on_rx_(buf, static_cast<std::uint32_t>(bytes.size()));
+}
+
+void SimNic::reset() {
+  ++stats_.resets;
+  ++reset_epoch_;
+  tx_ring_.clear();  // shadow descriptors are gone; completions never fire
+  rx_ring_.clear();
+  tx_pumping_ = false;
+  wedged_ = false;  // reconfiguration clears a misconfigured device
+  if (link_up_) {
+    link_up_ = false;
+    if (on_link_) on_link_(false);
+  }
+  const std::uint32_t epoch = reset_epoch_;
+  sim_.after(cfg_.reset_link_delay, [this, epoch] {
+    if (epoch != reset_epoch_) return;
+    link_up_ = true;
+    if (on_link_) on_link_(true);
+    pump_tx();
+  });
+}
+
+}  // namespace newtos::drv

@@ -1,0 +1,114 @@
+// Simulated gigabit NIC in the style of the Intel PRO/1000 (e1000) family
+// the paper's testbed used: TX/RX descriptor rings, scatter-gather DMA from
+// shared pools, checksum offload, TCP segmentation offload, and — crucially
+// for Section V-D — no way to invalidate its shadow descriptors short of a
+// full reset, which takes the link down for a while ("a crash of IP means
+// de facto restart of the network drivers too").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/chan/pool.h"
+#include "src/drv/wire.h"
+#include "src/net/addr.h"
+#include "src/net/pbuf.h"
+#include "src/sim/sim.h"
+
+namespace newtos::drv {
+
+class SimNic {
+ public:
+  struct Config {
+    int tx_ring = 256;
+    int rx_ring = 256;
+    std::uint32_t mtu = 1500;
+    bool hw_tso = true;           // device can segment
+    bool hw_csum = true;          // device can checksum
+    sim::Time reset_link_delay = 1500 * sim::kMillisecond;
+  };
+
+  struct Stats {
+    std::uint64_t tx_frames = 0;   // frames put on the wire (after TSO split)
+    std::uint64_t tx_descs = 0;    // descriptors consumed
+    std::uint64_t tx_ring_full = 0;
+    std::uint64_t rx_frames = 0;
+    std::uint64_t rx_no_buffer = 0;
+    std::uint64_t rx_bad_addr = 0;
+    std::uint64_t resets = 0;
+  };
+
+  SimNic(sim::Simulator& sim, chan::PoolRegistry& pools, net::MacAddr mac,
+         Config cfg);
+
+  void attach_wire(Wire* wire, int end);
+
+  net::MacAddr mac() const { return mac_; }
+  bool link_up() const { return link_up_; }
+
+  // --- driver-facing register interface ------------------------------------------
+  using TxDoneFn = std::function<void(std::uint64_t cookie, bool ok)>;
+  using RxFn = std::function<void(chan::RichPtr buffer, std::uint32_t len)>;
+  using LinkFn = std::function<void(bool up)>;
+  void set_tx_done(TxDoneFn fn) { on_tx_done_ = std::move(fn); }
+  void set_rx(RxFn fn) { on_rx_ = std::move(fn); }
+  void set_link_change(LinkFn fn) { on_link_ = std::move(fn); }
+
+  // Posts a frame descriptor; false when the TX ring is full.
+  bool tx_post(net::TxFrame frame, std::uint64_t cookie);
+  // Hands the device a receive buffer; false when the RX ring is full.
+  bool rx_post(chan::RichPtr buffer);
+
+  int tx_ring_free() const {
+    return cfg_.tx_ring - static_cast<int>(tx_ring_.size());
+  }
+  int rx_ring_level() const { return static_cast<int>(rx_ring_.size()); }
+
+  // Full device reset: rings are dropped (shadow descriptors cannot be
+  // invalidated selectively), pending TX completions are lost, and the link
+  // renegotiates for reset_link_delay.
+  void reset();
+
+  // Fault injection: a misconfigured device silently drops received frames
+  // until the next reset ("faults misconfigured the network cards since the
+  // problem disappeared after we manually restarted the driver").
+  void set_wedged(bool v) { wedged_ = v; }
+  bool wedged() const { return wedged_; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct TxEntry {
+    net::TxFrame frame;
+    std::uint64_t cookie;
+  };
+
+  void pump_tx();
+  void emit(std::vector<std::byte>&& bytes);
+  void wire_deliver(std::vector<std::byte>&& bytes);
+  std::vector<std::vector<std::byte>> tso_split(
+      const std::vector<std::byte>& super, std::uint16_t mss) const;
+
+  sim::Simulator& sim_;
+  chan::PoolRegistry& pools_;
+  net::MacAddr mac_;
+  Config cfg_;
+  Wire* wire_ = nullptr;
+  int wire_end_ = 0;
+  bool link_up_ = true;
+  bool wedged_ = false;
+  std::uint32_t reset_epoch_ = 0;
+
+  std::deque<TxEntry> tx_ring_;
+  std::deque<chan::RichPtr> rx_ring_;
+  bool tx_pumping_ = false;
+
+  TxDoneFn on_tx_done_;
+  RxFn on_rx_;
+  LinkFn on_link_;
+  Stats stats_;
+};
+
+}  // namespace newtos::drv

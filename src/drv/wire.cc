@@ -1,0 +1,43 @@
+#include "src/drv/wire.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace newtos::drv {
+
+Wire::Wire(sim::Simulator& sim, Config cfg) : sim_(sim), cfg_(cfg), rng_(cfg.seed) {}
+
+void Wire::attach(int end, DeliverFn deliver) {
+  deliver_[end] = std::move(deliver);
+}
+
+void Wire::detach(int end) { deliver_[end] = nullptr; }
+
+sim::Time Wire::transmit(int end, std::vector<std::byte>&& frame) {
+  const std::uint64_t wire_bytes = frame.size() + kPerFrameOverhead;
+  const sim::Time ser = static_cast<sim::Time>(
+      static_cast<double>(wire_bytes) * 8.0 * 1e9 / cfg_.bits_per_sec);
+  const sim::Time start = std::max(sim_.now(), tx_free_at_[end]);
+  tx_free_at_[end] = start + ser;
+  busy_ns_[end] += ser;
+  bytes_carried_ += frame.size();
+
+  const int other = 1 - end;
+  if (cfg_.loss > 0.0 && rng_.chance(cfg_.loss)) {
+    ++frames_lost_;
+    return tx_free_at_[end];
+  }
+  ++frames_delivered_;
+  sim_.at(tx_free_at_[end] + cfg_.propagation,
+          [this, other, f = std::move(frame)]() mutable {
+            if (deliver_[other]) deliver_[other](std::move(f));
+          });
+  return tx_free_at_[end];
+}
+
+double Wire::utilization(int end, sim::Time window) const {
+  if (window <= 0) return 0.0;
+  return static_cast<double>(busy_ns_[end]) / static_cast<double>(window);
+}
+
+}  // namespace newtos::drv

@@ -1,0 +1,58 @@
+// A full-duplex point-to-point Ethernet link in virtual time.
+//
+// Serialization delay (bytes at line rate, plus the 20-byte preamble +
+// inter-frame-gap and 4-byte FCS overhead of real Ethernet) plus a
+// propagation delay.  Optionally lossy, for exercising TCP retransmission.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "src/sim/sim.h"
+
+namespace newtos::drv {
+
+class Wire {
+ public:
+  struct Config {
+    double bits_per_sec = 1e9;                       // gigabit by default
+    sim::Time propagation = 20 * sim::kMicrosecond;  // short LAN
+    double loss = 0.0;                               // frame loss probability
+    std::uint64_t seed = 1;
+  };
+
+  using DeliverFn = std::function<void(std::vector<std::byte>&&)>;
+
+  Wire(sim::Simulator& sim, Config cfg);
+
+  // Endpoints are 0 and 1.  A detached endpoint silently discards frames.
+  void attach(int end, DeliverFn deliver);
+  void detach(int end);
+
+  // Transmits from endpoint `end`; returns the virtual time at which the
+  // last bit leaves the transmitter (the NIC's tx-complete instant).
+  sim::Time transmit(int end, std::vector<std::byte>&& frame);
+
+  std::uint64_t frames_delivered() const { return frames_delivered_; }
+  std::uint64_t frames_lost() const { return frames_lost_; }
+  std::uint64_t bytes_carried() const { return bytes_carried_; }
+  double utilization(int end, sim::Time window) const;
+
+ private:
+  // Preamble (8) + FCS (4) + inter-frame gap (12).
+  static constexpr std::uint32_t kPerFrameOverhead = 24;
+
+  sim::Simulator& sim_;
+  Config cfg_;
+  sim::Rng rng_;
+  DeliverFn deliver_[2];
+  sim::Time tx_free_at_[2] = {0, 0};
+  sim::Time busy_ns_[2] = {0, 0};
+  std::uint64_t frames_delivered_ = 0;
+  std::uint64_t frames_lost_ = 0;
+  std::uint64_t bytes_carried_ = 0;
+};
+
+}  // namespace newtos::drv

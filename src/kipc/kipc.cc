@@ -1,0 +1,4 @@
+#include "src/kipc/kipc.h"
+
+// Header-only today; this translation unit pins the module into the library
+// and reserves a home for future out-of-line kernel-IPC machinery.

@@ -1,0 +1,64 @@
+// Kernel IPC cost model (the baseline the channels replace).
+//
+// The original MINIX 3 moves every message through the kernel: a trap, a
+// copy, and usually a context switch (single core) or an interprocessor
+// interrupt (the destination core must be woken).  NewtOS keeps kernel IPC
+// only on the slow path: interrupt delivery to drivers and the synchronous
+// POSIX edge between applications and the SYSCALL server (Section V-B).
+//
+// This module prices those operations using the cost model; the simulator
+// charges them wherever a configuration routes messages through the kernel.
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/cost_model.h"
+
+namespace newtos::kipc {
+
+class KernelIpc {
+ public:
+  explicit KernelIpc(const sim::CostModel* costs) : costs_(costs) {}
+
+  // Synchronous send+receive rendezvous on ONE core: the sender traps, the
+  // kernel copies the message and switches to the receiver.  `cold` models a
+  // cache-cold trap (3000 cycles in the paper vs 150 hot).
+  sim::Cycles sync_send_same_core(std::size_t msg_bytes, bool cold = false) const {
+    return trap(cold) + copy(msg_bytes) + costs_->context_switch;
+  }
+
+  // Synchronous send to a process on ANOTHER core.  No context switch hides
+  // the cost any more (Section III-A): the kernel copies the message and, if
+  // the destination core sleeps, posts an IPI.
+  sim::Cycles sync_send_cross_core(std::size_t msg_bytes, bool dest_idle,
+                                   bool cold = false) const {
+    return trap(cold) + copy(msg_bytes) + (dest_idle ? costs_->ipi : 0);
+  }
+
+  // Receiver-side cost of picking up a kernel message.
+  sim::Cycles receive(std::size_t msg_bytes) const {
+    return trap(false) + copy(msg_bytes);
+  }
+
+  // Kernel notify (no payload), e.g. converting an interrupt to a message.
+  sim::Cycles notify(bool dest_idle) const {
+    return trap(false) + (dest_idle ? costs_->ipi : 0);
+  }
+
+  // The kernel-assisted MWAIT of Section IV-B: entering costs a trap;
+  // resuming the user context costs mwait_wakeup.
+  sim::Cycles mwait_enter() const { return trap(false); }
+  sim::Cycles mwait_resume() const { return costs_->mwait_wakeup; }
+
+  sim::Cycles trap(bool cold) const {
+    return cold ? costs_->trap_cold : costs_->trap_hot;
+  }
+  sim::Cycles copy(std::size_t bytes) const {
+    return costs_->copy_cost(static_cast<std::int64_t>(bytes));
+  }
+
+ private:
+  const sim::CostModel* costs_;
+};
+
+}  // namespace newtos::kipc

@@ -1,0 +1,44 @@
+#include "src/net/addr.h"
+
+#include <cstdio>
+
+namespace newtos::net {
+
+MacAddr MacAddr::local(std::uint32_t index) {
+  // 02:xx:xx:xx:xx:xx — the locally-administered bit set, globally unique
+  // within a simulation.
+  return MacAddr{{0x02, 0x00,
+                  static_cast<std::uint8_t>(index >> 24),
+                  static_cast<std::uint8_t>(index >> 16),
+                  static_cast<std::uint8_t>(index >> 8),
+                  static_cast<std::uint8_t>(index)}};
+}
+
+std::string MacAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0],
+                bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]);
+  return buf;
+}
+
+Ipv4Addr Ipv4Addr::parse(const std::string& dotted) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  if (std::sscanf(dotted.c_str(), "%u.%u.%u.%u", &a, &b, &c, &d) != 4)
+    return Ipv4Addr{};
+  if (a > 255 || b > 255 || c > 255 || d > 255) return Ipv4Addr{};
+  return Ipv4Addr(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                  static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value >> 24) & 0xff,
+                (value >> 16) & 0xff, (value >> 8) & 0xff, value & 0xff);
+  return buf;
+}
+
+std::string Ipv4Net::to_string() const {
+  return network.to_string() + "/" + std::to_string(prefix_len);
+}
+
+}  // namespace newtos::net

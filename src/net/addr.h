@@ -1,0 +1,68 @@
+// Network addresses: Ethernet MAC and IPv4.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace newtos::net {
+
+struct MacAddr {
+  std::array<std::uint8_t, 6> bytes{};
+
+  static MacAddr broadcast() {
+    return MacAddr{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+  }
+  // Deterministic locally-administered address derived from an index.
+  static MacAddr local(std::uint32_t index);
+
+  bool is_broadcast() const { return *this == broadcast(); }
+  std::string to_string() const;
+
+  friend auto operator<=>(const MacAddr&, const MacAddr&) = default;
+};
+
+struct Ipv4Addr {
+  std::uint32_t value = 0;  // host byte order
+
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t v) : value(v) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : value((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | d) {}
+
+  static Ipv4Addr parse(const std::string& dotted);  // returns 0.0.0.0 on error
+
+  bool is_zero() const { return value == 0; }
+  std::string to_string() const;
+
+  friend auto operator<=>(const Ipv4Addr&, const Ipv4Addr&) = default;
+};
+
+// CIDR prefix, e.g. 10.0.1.0/24.
+struct Ipv4Net {
+  Ipv4Addr network;
+  int prefix_len = 0;
+
+  std::uint32_t mask() const {
+    return prefix_len == 0 ? 0u : ~std::uint32_t{0} << (32 - prefix_len);
+  }
+  bool contains(Ipv4Addr a) const {
+    return (a.value & mask()) == (network.value & mask());
+  }
+  std::string to_string() const;
+
+  friend bool operator==(const Ipv4Net&, const Ipv4Net&) = default;
+};
+
+}  // namespace newtos::net
+
+template <>
+struct std::hash<newtos::net::Ipv4Addr> {
+  std::size_t operator()(const newtos::net::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value);
+  }
+};

@@ -1,0 +1,78 @@
+#include "src/net/arp.h"
+
+#include <utility>
+
+namespace newtos::net {
+
+ArpEngine::ArpEngine(Env env) : ArpEngine(std::move(env), Config{}) {}
+
+ArpEngine::ArpEngine(Env env, Config cfg)
+    : env_(std::move(env)), cfg_(cfg) {}
+
+std::optional<MacAddr> ArpEngine::lookup(int ifindex, Ipv4Addr ip,
+                                         Ipv4Addr local_ip,
+                                         MacAddr local_mac) {
+  auto it = cache_.find(ip);
+  if (it != cache_.end() && it->second.expires > env_.clock->now())
+    return it->second.mac;
+
+  auto [pit, inserted] = probes_.try_emplace(ip);
+  Probe& probe = pit->second;
+  if (inserted) {
+    probe.ifindex = ifindex;
+    probe.local_ip = local_ip;
+    probe.local_mac = local_mac;
+    send_request(ip, probe);
+  }
+  return std::nullopt;
+}
+
+void ArpEngine::send_request(Ipv4Addr target, Probe& probe) {
+  ++probe.attempts;
+  ArpPacket req;
+  req.op = kArpOpRequest;
+  req.sender_mac = probe.local_mac;
+  req.sender_ip = probe.local_ip;
+  req.target_mac = MacAddr{};  // unknown
+  req.target_ip = target;
+  env_.send_arp(probe.ifindex, req);
+  probe.timer = env_.timers->schedule(cfg_.retry_interval,
+                                      [this, target] { retry(target); });
+}
+
+void ArpEngine::retry(Ipv4Addr target) {
+  auto it = probes_.find(target);
+  if (it == probes_.end()) return;
+  if (it->second.attempts >= cfg_.max_retries) {
+    probes_.erase(it);  // give up; pending packets at IP level time out
+    return;
+  }
+  send_request(target, it->second);
+}
+
+void ArpEngine::input(int ifindex, const ArpPacket& pkt, Ipv4Addr local_ip,
+                      MacAddr local_mac) {
+  // Learn the sender mapping (both requests and replies carry one).
+  if (!pkt.sender_ip.is_zero()) {
+    cache_[pkt.sender_ip] =
+        Entry{pkt.sender_mac, env_.clock->now() + cfg_.entry_ttl};
+    auto pit = probes_.find(pkt.sender_ip);
+    if (pit != probes_.end()) {
+      env_.timers->cancel(pit->second.timer);
+      const int probe_if = pit->second.ifindex;
+      probes_.erase(pit);
+      if (env_.resolved) env_.resolved(probe_if, pkt.sender_ip, pkt.sender_mac);
+    }
+  }
+  if (pkt.op == kArpOpRequest && pkt.target_ip == local_ip) {
+    ArpPacket reply;
+    reply.op = kArpOpReply;
+    reply.sender_mac = local_mac;
+    reply.sender_ip = local_ip;
+    reply.target_mac = pkt.sender_mac;
+    reply.target_ip = pkt.sender_ip;
+    env_.send_arp(ifindex, reply);
+  }
+}
+
+}  // namespace newtos::net

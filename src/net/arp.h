@@ -1,0 +1,76 @@
+// ARP: next-hop resolution with a cache and a pending-packet queue.
+//
+// Lives inside the IP component ("Our IP also contains ICMP and ARP",
+// Section V).  ARP is stateless for recovery purposes: after an IP crash the
+// cache simply refills.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/addr.h"
+#include "src/net/env.h"
+#include "src/net/headers.h"
+
+namespace newtos::net {
+
+class ArpEngine {
+ public:
+  struct Env {
+    Clock* clock = nullptr;
+    TimerService* timers = nullptr;
+    // Emit a raw ARP frame (already Ethernet-framed by the caller's pool
+    // management; the engine supplies payload and addressing).
+    std::function<void(int ifindex, const ArpPacket&)> send_arp;
+    // Called when `ip` resolves; the IP engine flushes its pending packets.
+    std::function<void(int ifindex, Ipv4Addr ip, MacAddr mac)> resolved;
+  };
+
+  struct Config {
+    sim::Time entry_ttl = 60 * sim::kSecond;
+    sim::Time retry_interval = 500 * sim::kMillisecond;
+    int max_retries = 3;
+  };
+
+  explicit ArpEngine(Env env);
+  ArpEngine(Env env, Config cfg);
+
+  // Returns the MAC for `ip` if cached; otherwise begins resolution (ARP
+  // request broadcast) and returns nullopt.  `local_*` identify the asking
+  // interface.
+  std::optional<MacAddr> lookup(int ifindex, Ipv4Addr ip, Ipv4Addr local_ip,
+                                MacAddr local_mac);
+
+  // Handles an incoming ARP packet.  Replies to requests for `local_ip` via
+  // send_arp and learns sender mappings.
+  void input(int ifindex, const ArpPacket& pkt, Ipv4Addr local_ip,
+             MacAddr local_mac);
+
+  std::size_t cache_size() const { return cache_.size(); }
+
+ private:
+  struct Entry {
+    MacAddr mac;
+    sim::Time expires = 0;
+  };
+  struct Probe {
+    int ifindex;
+    Ipv4Addr local_ip;
+    MacAddr local_mac;
+    int attempts = 0;
+    TimerService::TimerId timer = 0;
+  };
+
+  void send_request(Ipv4Addr target, Probe& probe);
+  void retry(Ipv4Addr target);
+
+  Env env_;
+  Config cfg_;
+  std::unordered_map<Ipv4Addr, Entry> cache_;
+  std::unordered_map<Ipv4Addr, Probe> probes_;
+};
+
+}  // namespace newtos::net

@@ -1,0 +1,41 @@
+#include "src/net/checksum.h"
+
+namespace newtos::net {
+
+std::uint32_t checksum_partial(std::span<const std::byte> data,
+                               std::uint32_t sum) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(data[i]))
+            << 8) |
+           std::to_integer<std::uint8_t>(data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(data[i]))
+           << 8;
+  }
+  return sum;
+}
+
+std::uint16_t checksum_finish(std::uint32_t sum) {
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::uint16_t checksum(std::span<const std::byte> data) {
+  return checksum_finish(checksum_partial(data));
+}
+
+std::uint32_t pseudo_header_sum(Ipv4Addr src, Ipv4Addr dst,
+                                std::uint8_t protocol, std::uint16_t length) {
+  std::uint32_t sum = 0;
+  sum += src.value >> 16;
+  sum += src.value & 0xffff;
+  sum += dst.value >> 16;
+  sum += dst.value & 0xffff;
+  sum += protocol;
+  sum += length;
+  return sum;
+}
+
+}  // namespace newtos::net

@@ -1,0 +1,28 @@
+// Internet checksum (RFC 1071) with incremental/partial support, as needed
+// for checksum offloading: software computes the pseudo-header partial sum,
+// the (simulated) NIC finishes the job.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "src/net/addr.h"
+
+namespace newtos::net {
+
+// Sums 16-bit big-endian words; returns the running 32-bit sum (not folded).
+std::uint32_t checksum_partial(std::span<const std::byte> data,
+                               std::uint32_t sum = 0);
+
+// Folds a running sum and complements it into a final checksum value.
+std::uint16_t checksum_finish(std::uint32_t sum);
+
+// One-shot checksum of a buffer.
+std::uint16_t checksum(std::span<const std::byte> data);
+
+// Partial sum of the TCP/UDP pseudo header.
+std::uint32_t pseudo_header_sum(Ipv4Addr src, Ipv4Addr dst,
+                                std::uint8_t protocol, std::uint16_t length);
+
+}  // namespace newtos::net

@@ -1,0 +1,33 @@
+// Host-environment interfaces for the protocol engines.
+//
+// The engines (ARP, IP, ICMP, UDP, TCP, PF) are plain libraries: they do not
+// know whether they run inside a dedicated server connected by channels (the
+// NewtOS split stack), inside one combined stack server, or in-process (the
+// monolithic baseline).  The hosting code provides time, timers and output
+// paths through these interfaces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/time.h"
+
+namespace newtos::net {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual sim::Time now() const = 0;
+};
+
+class TimerService {
+ public:
+  using TimerId = std::uint64_t;
+  virtual ~TimerService() = default;
+  // Schedules `fn` after `delay`; the callback runs in the hosting
+  // component's execution context (its core, in the simulator).
+  virtual TimerId schedule(sim::Time delay, std::function<void()> fn) = 0;
+  virtual void cancel(TimerId id) = 0;
+};
+
+}  // namespace newtos::net

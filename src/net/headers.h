@@ -1,0 +1,174 @@
+// Wire formats: Ethernet, ARP, IPv4, ICMP, UDP and TCP headers.
+//
+// Serialization is explicit byte-by-byte big-endian — no packed structs, no
+// casts, no host-endianness assumptions.  Parsers return false on truncated
+// or malformed input instead of reading out of bounds (the "ping of death"
+// class of bugs the paper cites is an input-validation failure; our parsers
+// are the guard).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "src/net/addr.h"
+
+namespace newtos::net {
+
+// --- Byte-order-safe reader/writer ------------------------------------------
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::span<std::byte> buf) : buf_(buf) {}
+
+  bool ok() const { return ok_; }
+  std::size_t written() const { return pos_; }
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void mac(const MacAddr& m);
+  void ip(Ipv4Addr a);
+  void raw(std::span<const std::byte> data);
+
+ private:
+  std::span<std::byte> buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> buf) : buf_(buf) {}
+
+  bool ok() const { return ok_; }
+  std::size_t consumed() const { return pos_; }
+  std::size_t remaining() const { return ok_ ? buf_.size() - pos_ : 0; }
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  MacAddr mac();
+  Ipv4Addr ip();
+  void skip(std::size_t n);
+
+ private:
+  std::span<const std::byte> buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- Ethernet ----------------------------------------------------------------
+
+inline constexpr std::size_t kEthHeaderLen = 14;
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeArp = 0x0806;
+
+struct EthHeader {
+  MacAddr dst;
+  MacAddr src;
+  std::uint16_t ethertype = 0;
+
+  void serialize(ByteWriter& w) const;
+  static std::optional<EthHeader> parse(ByteReader& r);
+};
+
+// --- ARP ----------------------------------------------------------------------
+
+inline constexpr std::size_t kArpPacketLen = 28;
+inline constexpr std::uint16_t kArpOpRequest = 1;
+inline constexpr std::uint16_t kArpOpReply = 2;
+
+struct ArpPacket {
+  std::uint16_t op = 0;
+  MacAddr sender_mac;
+  Ipv4Addr sender_ip;
+  MacAddr target_mac;
+  Ipv4Addr target_ip;
+
+  void serialize(ByteWriter& w) const;
+  static std::optional<ArpPacket> parse(ByteReader& r);
+};
+
+// --- IPv4 ----------------------------------------------------------------------
+
+inline constexpr std::size_t kIpHeaderLen = 20;  // no options
+inline constexpr std::uint8_t kProtoIcmp = 1;
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+
+struct Ipv4Header {
+  std::uint16_t total_length = 0;  // header + payload
+  std::uint16_t id = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t checksum = 0;  // filled by serialize() when compute_checksum
+  Ipv4Addr src;
+  Ipv4Addr dst;
+
+  // Serializes; computes the header checksum unless it is being offloaded.
+  void serialize(ByteWriter& w, bool compute_checksum = true) const;
+  // Parses and (optionally) verifies the header checksum.
+  static std::optional<Ipv4Header> parse(ByteReader& r, bool verify = true);
+};
+
+// --- ICMP ----------------------------------------------------------------------
+
+inline constexpr std::size_t kIcmpHeaderLen = 8;
+inline constexpr std::uint8_t kIcmpEchoReply = 0;
+inline constexpr std::uint8_t kIcmpEchoRequest = 8;
+
+struct IcmpHeader {
+  std::uint8_t type = 0;
+  std::uint8_t code = 0;
+  std::uint16_t checksum = 0;
+  std::uint16_t id = 0;
+  std::uint16_t seq = 0;
+
+  void serialize(ByteWriter& w) const;  // checksum field written as-is
+  static std::optional<IcmpHeader> parse(ByteReader& r);
+};
+
+// --- UDP -----------------------------------------------------------------------
+
+inline constexpr std::size_t kUdpHeaderLen = 8;
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + payload
+  std::uint16_t checksum = 0;
+
+  void serialize(ByteWriter& w) const;
+  static std::optional<UdpHeader> parse(ByteReader& r);
+};
+
+// --- TCP -----------------------------------------------------------------------
+
+inline constexpr std::size_t kTcpHeaderLen = 20;  // no options
+
+namespace tcpflag {
+inline constexpr std::uint8_t kFin = 0x01;
+inline constexpr std::uint8_t kSyn = 0x02;
+inline constexpr std::uint8_t kRst = 0x04;
+inline constexpr std::uint8_t kPsh = 0x08;
+inline constexpr std::uint8_t kAck = 0x10;
+}  // namespace tcpflag
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 0;
+  std::uint16_t checksum = 0;
+
+  bool has(std::uint8_t f) const { return (flags & f) != 0; }
+
+  void serialize(ByteWriter& w) const;  // checksum field written as-is
+  static std::optional<TcpHeader> parse(ByteReader& r);
+};
+
+}  // namespace newtos::net

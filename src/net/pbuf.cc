@@ -1,0 +1,109 @@
+#include "src/net/pbuf.h"
+
+#include <cstring>
+
+namespace newtos::net {
+
+namespace {
+
+std::uint32_t chain_len(const std::vector<chan::RichPtr>& ptrs) {
+  std::uint32_t n = 0;
+  for (const auto& p : ptrs) n += p.length;
+  return n;
+}
+
+constexpr std::uint32_t kDescMagic = 0x4e744f53;  // "NtOS"
+
+void put_u32(std::byte* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+void put_u16(std::byte* p, std::uint16_t v) { std::memcpy(p, &v, 2); }
+std::uint32_t get_u32(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+std::uint16_t get_u16(const std::byte* p) {
+  std::uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t TxSeg::payload_len() const { return chain_len(payload); }
+std::uint32_t TxFrame::payload_len() const { return chain_len(payload); }
+
+std::vector<std::byte> flatten(const chan::PoolRegistry& pools,
+                               const chan::RichPtr& header,
+                               const std::vector<chan::RichPtr>& payload) {
+  std::vector<std::byte> out;
+  auto append = [&](const chan::RichPtr& p) {
+    if (!p.valid()) return;
+    auto view = pools.read(p);
+    out.insert(out.end(), view.begin(), view.end());
+  };
+  append(header);
+  for (const auto& p : payload) append(p);
+  return out;
+}
+
+chan::RichPtr pack_chain(chan::Pool& pool, const chan::RichPtr& header,
+                         const std::vector<chan::RichPtr>& payload,
+                         const TxOffload& offload) {
+  const std::uint16_t n =
+      static_cast<std::uint16_t>((header.valid() ? 1 : 0) + payload.size());
+  const std::uint32_t bytes = 16 + n * static_cast<std::uint32_t>(
+                                           sizeof(chan::RichPtr));
+  chan::RichPtr desc = pool.alloc(bytes);
+  if (!desc.valid()) return desc;
+
+  auto view = pool.write_view(desc);
+  std::byte* p = view.data();
+  const std::uint32_t flags = (offload.tso ? 1u : 0u) |
+                              (offload.csum_offload ? 2u : 0u) |
+                              (header.valid() ? 4u : 0u);
+  put_u32(p + 0, kDescMagic);
+  put_u32(p + 4, flags);
+  put_u16(p + 8, offload.mss);
+  put_u16(p + 10, n);
+  put_u32(p + 12, chain_len(payload) + (header.valid() ? 0u : 0u));
+  std::size_t off = 16;
+  auto put_ptr = [&](const chan::RichPtr& rp) {
+    std::memcpy(p + off, &rp, sizeof rp);
+    off += sizeof rp;
+  };
+  if (header.valid()) put_ptr(header);
+  for (const auto& rp : payload) put_ptr(rp);
+  return desc;
+}
+
+std::optional<UnpackedChain> unpack_chain(const chan::PoolRegistry& pools,
+                                          const chan::RichPtr& desc) {
+  auto view = pools.read(desc);
+  if (view.size() < 16) return std::nullopt;
+  const std::byte* p = view.data();
+  if (get_u32(p) != kDescMagic) return std::nullopt;
+  const std::uint32_t flags = get_u32(p + 4);
+  const std::uint16_t mss = get_u16(p + 8);
+  const std::uint16_t n = get_u16(p + 10);
+  if (view.size() < 16 + n * sizeof(chan::RichPtr)) return std::nullopt;
+
+  UnpackedChain out;
+  out.offload.tso = (flags & 1) != 0;
+  out.offload.csum_offload = (flags & 2) != 0;
+  out.offload.mss = mss;
+  const bool has_header = (flags & 4) != 0;
+  std::size_t off = 16;
+  for (std::uint16_t i = 0; i < n; ++i) {
+    chan::RichPtr rp;
+    std::memcpy(&rp, p + off, sizeof rp);
+    off += sizeof rp;
+    if (i == 0 && has_header) {
+      out.header = rp;
+    } else {
+      out.payload.push_back(rp);
+    }
+  }
+  return out;
+}
+
+}  // namespace newtos::net

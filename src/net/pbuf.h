@@ -1,0 +1,83 @@
+// Packet carriers: zero-copy chains of rich pointers (Section V-C).
+//
+// A packet travelling down the stack is never copied.  L4 builds its header
+// in a chunk it owns and passes {header, payload chunk refs}; IP combines
+// the L4 header with the IP and Ethernet headers in one new chunk (it must
+// write the checksum, and pools are read-only to consumers) and passes
+// {frame header, payload refs} on to the packet filter and the driver.  The
+// NIC gathers ("DMAs") the chain onto the wire.  On receive, a frame is one
+// contiguous chunk in IP's receive pool and moves upward by reference.
+//
+// When a chain crosses a channel it is packed into a descriptor chunk — "an
+// array allocated in a shared pool filled with rich pointers" — referenced
+// from the 64-byte message.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/chan/pool.h"
+#include "src/chan/rich_ptr.h"
+#include "src/net/addr.h"
+
+namespace newtos::net {
+
+// Offload knobs carried with a TX packet (Section V-A: checksum offloading
+// and TCP segmentation offloading were added to the stack).
+struct TxOffload {
+  bool tso = false;            // NIC splits the oversized segment into MTU frames
+  bool csum_offload = false;   // NIC finishes the L4 checksum
+  std::uint16_t mss = 1460;    // segment size the NIC should cut at
+};
+
+// L4 -> IP: one transport segment.
+struct TxSeg {
+  chan::RichPtr l4_header;               // TCP/UDP header chunk (sender-owned)
+  std::vector<chan::RichPtr> payload;    // read-only payload refs
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  std::uint8_t protocol = 0;
+  TxOffload offload;
+
+  std::uint32_t payload_len() const;
+  std::uint32_t total_len() const { return l4_header.length + payload_len(); }
+};
+
+// IP -> driver: one frame (possibly a TSO superframe).
+struct TxFrame {
+  chan::RichPtr header;                  // ETH+IP+L4 headers in one chunk
+  std::vector<chan::RichPtr> payload;
+  TxOffload offload;
+
+  std::uint32_t payload_len() const;
+  std::uint32_t total_len() const { return header.length + payload_len(); }
+};
+
+// Gathers a chain into contiguous bytes (what the NIC's scatter-gather DMA
+// engine does while serializing onto the wire).
+std::vector<std::byte> flatten(const chan::PoolRegistry& pools,
+                               const chan::RichPtr& header,
+                               const std::vector<chan::RichPtr>& payload);
+
+// --- Channel descriptors ------------------------------------------------------
+//
+// Pack/unpack a {header, payload...} chain plus offload flags into a chunk
+// allocated from `pool`, so it can be referenced from one message.  Layout:
+//   u32 magic, u32 flags, u16 mss, u16 n_ptrs, u32 payload_len,
+//   then n_ptrs RichPtr records (header first).
+
+chan::RichPtr pack_chain(chan::Pool& pool, const chan::RichPtr& header,
+                         const std::vector<chan::RichPtr>& payload,
+                         const TxOffload& offload);
+
+struct UnpackedChain {
+  chan::RichPtr header;
+  std::vector<chan::RichPtr> payload;
+  TxOffload offload;
+};
+
+std::optional<UnpackedChain> unpack_chain(const chan::PoolRegistry& pools,
+                                          const chan::RichPtr& desc);
+
+}  // namespace newtos::net

@@ -1,0 +1,161 @@
+#include "src/net/pf.h"
+
+#include <cstring>
+
+#include "src/net/headers.h"
+
+namespace newtos::net {
+
+std::size_t PfEngine::KeyHash::operator()(const PfStateKey& k) const {
+  std::size_t h = k.protocol;
+  h = h * 1000003 + k.src.value;
+  h = h * 1000003 + k.dst.value;
+  h = h * 1000003 + ((static_cast<std::size_t>(k.sport) << 16) | k.dport);
+  return h;
+}
+
+PfEngine::PfEngine(Clock* clock) : PfEngine(clock, Config{}) {}
+
+PfEngine::PfEngine(Clock* clock, Config cfg) : clock_(clock), cfg_(cfg) {}
+
+PfStateKey PfEngine::forward_key(const PfQuery& q) {
+  return PfStateKey{q.protocol, q.src, q.dst, q.sport, q.dport};
+}
+
+PfStateKey PfEngine::reverse_key(const PfQuery& q) {
+  return PfStateKey{q.protocol, q.dst, q.src, q.dport, q.sport};
+}
+
+bool PfEngine::rule_matches(const PfRule& r, const PfQuery& q) const {
+  if (r.dir && *r.dir != q.dir) return false;
+  if (r.protocol && *r.protocol != q.protocol) return false;
+  if (r.src && !r.src->contains(q.src)) return false;
+  if (r.dst && !r.dst->contains(q.dst)) return false;
+  if (r.sport && !r.sport->contains(q.sport)) return false;
+  if (r.dport && !r.dport->contains(q.dport)) return false;
+  return true;
+}
+
+PfEngine::Verdict PfEngine::check(const PfQuery& q) {
+  ++checks_;
+  const sim::Time now = clock_ ? clock_->now() : 0;
+
+  // Established state bypasses the rules (both orientations).
+  for (const PfStateKey& key : {forward_key(q), reverse_key(q)}) {
+    auto it = states_.find(key);
+    if (it != states_.end()) {
+      if (it->second > now) {
+        // RST tears the entry down; FIN handling is TTL-based.
+        if (q.protocol == kProtoTcp && (q.tcp_flags & tcpflag::kRst) != 0) {
+          states_.erase(it);
+        } else {
+          it->second = now + cfg_.state_ttl;
+        }
+        return Verdict{PfAction::Pass, 0, true};
+      }
+      states_.erase(it);
+    }
+  }
+
+  int walked = 0;
+  for (const PfRule& r : rules_) {
+    ++walked;
+    if (!rule_matches(r, q)) continue;
+    if (r.action == PfAction::Pass && r.keep_state) {
+      states_[forward_key(q)] = now + cfg_.state_ttl;
+    }
+    if (r.action == PfAction::Block) ++blocks_;
+    return Verdict{r.action, walked, false};
+  }
+  if (cfg_.default_action == PfAction::Block) ++blocks_;
+  return Verdict{cfg_.default_action, walked, false};
+}
+
+void PfEngine::restore_states(const std::vector<PfStateKey>& keys) {
+  const sim::Time now = clock_ ? clock_->now() : 0;
+  for (const auto& k : keys) states_[k] = now + cfg_.state_ttl;
+}
+
+std::vector<PfStateKey> PfEngine::snapshot_states() const {
+  std::vector<PfStateKey> out;
+  out.reserve(states_.size());
+  for (const auto& [k, expiry] : states_) out.push_back(k);
+  return out;
+}
+
+// Rule wire format: u32 count, then per rule a fixed 40-byte record.
+std::vector<std::byte> PfEngine::serialize_rules(
+    const std::vector<PfRule>& rules) {
+  std::vector<std::byte> out(4 + rules.size() * 40);
+  std::uint32_t n = static_cast<std::uint32_t>(rules.size());
+  std::memcpy(out.data(), &n, 4);
+  std::size_t off = 4;
+  for (const PfRule& r : rules) {
+    std::uint8_t rec[40] = {};
+    rec[0] = static_cast<std::uint8_t>(r.action);
+    rec[1] = r.dir ? (1 + static_cast<std::uint8_t>(*r.dir)) : 0;
+    rec[2] = r.protocol ? 1 : 0;
+    rec[3] = r.protocol.value_or(0);
+    auto put32 = [&rec](int at, std::uint32_t v) {
+      std::memcpy(rec + at, &v, 4);
+    };
+    auto put16 = [&rec](int at, std::uint16_t v) {
+      std::memcpy(rec + at, &v, 2);
+    };
+    rec[4] = r.src ? 1 : 0;
+    put32(8, r.src ? r.src->network.value : 0);
+    rec[5] = static_cast<std::uint8_t>(r.src ? r.src->prefix_len : 0);
+    rec[6] = r.dst ? 1 : 0;
+    put32(12, r.dst ? r.dst->network.value : 0);
+    rec[7] = static_cast<std::uint8_t>(r.dst ? r.dst->prefix_len : 0);
+    rec[16] = r.sport ? 1 : 0;
+    put16(18, r.sport ? r.sport->lo : 0);
+    put16(20, r.sport ? r.sport->hi : 0);
+    rec[17] = r.dport ? 1 : 0;
+    put16(22, r.dport ? r.dport->lo : 0);
+    put16(24, r.dport ? r.dport->hi : 0);
+    rec[26] = r.keep_state ? 1 : 0;
+    std::memcpy(out.data() + off, rec, 40);
+    off += 40;
+  }
+  return out;
+}
+
+std::optional<std::vector<PfRule>> PfEngine::parse_rules(
+    std::span<const std::byte> data) {
+  if (data.size() < 4) return std::nullopt;
+  std::uint32_t n;
+  std::memcpy(&n, data.data(), 4);
+  if (data.size() < 4 + static_cast<std::size_t>(n) * 40) return std::nullopt;
+  std::vector<PfRule> rules;
+  rules.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint8_t* rec =
+        reinterpret_cast<const std::uint8_t*>(data.data()) + 4 + i * 40;
+    auto get32 = [rec](int at) {
+      std::uint32_t v;
+      std::memcpy(&v, rec + at, 4);
+      return v;
+    };
+    auto get16 = [rec](int at) {
+      std::uint16_t v;
+      std::memcpy(&v, rec + at, 2);
+      return v;
+    };
+    PfRule r;
+    if (rec[0] > 1) return std::nullopt;
+    r.action = static_cast<PfAction>(rec[0]);
+    if (rec[1] > 2) return std::nullopt;
+    if (rec[1] != 0) r.dir = static_cast<PfDir>(rec[1] - 1);
+    if (rec[2]) r.protocol = rec[3];
+    if (rec[4]) r.src = Ipv4Net{Ipv4Addr{get32(8)}, rec[5]};
+    if (rec[6]) r.dst = Ipv4Net{Ipv4Addr{get32(12)}, rec[7]};
+    if (rec[16]) r.sport = PortRange{get16(18), get16(20)};
+    if (rec[17]) r.dport = PortRange{get16(22), get16(24)};
+    r.keep_state = rec[26] != 0;
+    rules.push_back(r);
+  }
+  return rules;
+}
+
+}  // namespace newtos::net

@@ -1,0 +1,123 @@
+// PF-style stateful packet filter (modelled on the NetBSD PF the paper
+// isolates into its own server, Section V).
+//
+// The filter sits in a T junction off IP: IP consults it for every packet,
+// both pre-routing (inbound) and post-routing (outbound), and only proceeds
+// once a verdict arrives.  Rules are evaluated first-match-wins ("quick"
+// semantics).  `keep_state` rules insert a connection entry; packets
+// matching an established entry pass without walking the rules — this is
+// the dynamic state that must be rebuilt after a crash by querying the TCP
+// and UDP servers (Section V-D).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/addr.h"
+#include "src/net/env.h"
+
+namespace newtos::net {
+
+enum class PfAction : std::uint8_t { Pass, Block };
+enum class PfDir : std::uint8_t { In, Out };
+
+struct PortRange {
+  std::uint16_t lo = 0;
+  std::uint16_t hi = 65535;
+  bool contains(std::uint16_t p) const { return p >= lo && p <= hi; }
+  friend bool operator==(const PortRange&, const PortRange&) = default;
+};
+
+struct PfRule {
+  PfAction action = PfAction::Pass;
+  std::optional<PfDir> dir;              // nullopt: both directions
+  std::optional<std::uint8_t> protocol;  // nullopt: any
+  std::optional<Ipv4Net> src;
+  std::optional<Ipv4Net> dst;
+  std::optional<PortRange> sport;
+  std::optional<PortRange> dport;
+  bool keep_state = false;
+
+  friend bool operator==(const PfRule&, const PfRule&) = default;
+};
+
+// The fields IP hands over for a verdict (headers only; PF never needs the
+// payload for these rules, so the zero-copy chain stays untouched).
+struct PfQuery {
+  PfDir dir = PfDir::Out;
+  std::uint8_t protocol = 0;
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  std::uint8_t tcp_flags = 0;
+};
+
+// A connection-table key, also the unit of state recovery.
+struct PfStateKey {
+  std::uint8_t protocol = 0;
+  Ipv4Addr src;  // initiator
+  Ipv4Addr dst;
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+
+  friend bool operator==(const PfStateKey&, const PfStateKey&) = default;
+};
+
+class PfEngine {
+ public:
+  struct Config {
+    sim::Time state_ttl = 120 * sim::kSecond;
+    PfAction default_action = PfAction::Pass;
+  };
+
+  explicit PfEngine(Clock* clock);
+  PfEngine(Clock* clock, Config cfg);
+
+  void set_rules(std::vector<PfRule> rules) { rules_ = std::move(rules); }
+  const std::vector<PfRule>& rules() const { return rules_; }
+
+  struct Verdict {
+    PfAction action = PfAction::Pass;
+    int rules_walked = 0;   // for cycle accounting by the hosting server
+    bool state_hit = false;
+  };
+  Verdict check(const PfQuery& q);
+
+  // --- connection state ------------------------------------------------------
+  std::size_t state_count() const { return states_.size(); }
+  void flush_states() { states_.clear(); }
+  // Recovery: reinstall entries reported by the TCP/UDP servers.
+  void restore_states(const std::vector<PfStateKey>& keys);
+  std::vector<PfStateKey> snapshot_states() const;
+
+  // --- rule (de)serialization for the storage server --------------------------
+  static std::vector<std::byte> serialize_rules(const std::vector<PfRule>&);
+  static std::optional<std::vector<PfRule>> parse_rules(
+      std::span<const std::byte>);
+
+  std::uint64_t checks() const { return checks_; }
+  std::uint64_t blocks() const { return blocks_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const PfStateKey& k) const;
+  };
+
+  bool rule_matches(const PfRule& r, const PfQuery& q) const;
+  static PfStateKey forward_key(const PfQuery& q);
+  static PfStateKey reverse_key(const PfQuery& q);
+
+  Clock* clock_;
+  Config cfg_;
+  std::vector<PfRule> rules_;
+  std::unordered_map<PfStateKey, sim::Time, KeyHash> states_;  // -> expiry
+  std::uint64_t checks_ = 0;
+  std::uint64_t blocks_ = 0;
+};
+
+}  // namespace newtos::net

@@ -1,0 +1,1041 @@
+#include "src/net/tcp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace newtos::net {
+
+const char* to_string(TcpState s) {
+  switch (s) {
+    case TcpState::Closed: return "CLOSED";
+    case TcpState::Listen: return "LISTEN";
+    case TcpState::SynSent: return "SYN_SENT";
+    case TcpState::SynRcvd: return "SYN_RCVD";
+    case TcpState::Established: return "ESTABLISHED";
+    case TcpState::FinWait1: return "FIN_WAIT_1";
+    case TcpState::FinWait2: return "FIN_WAIT_2";
+    case TcpState::CloseWait: return "CLOSE_WAIT";
+    case TcpState::Closing: return "CLOSING";
+    case TcpState::LastAck: return "LAST_ACK";
+    case TcpState::TimeWait: return "TIME_WAIT";
+  }
+  return "?";
+}
+
+TcpEngine::TcpEngine(Env env, TcpOptions opts)
+    : env_(std::move(env)), opts_(opts) {}
+
+TcpEngine::~TcpEngine() {
+  // Release everything we own; cancel timers so no callback outlives us.
+  for (auto& [sock, c] : conns_) {
+    if (c.rto_timer) env_.timers->cancel(c.rto_timer);
+    if (c.ack_timer) env_.timers->cancel(c.ack_timer);
+    if (c.timewait_timer) env_.timers->cancel(c.timewait_timer);
+    for (auto& sc : c.sndq) env_.buf_pool->release(sc.chunk);
+    for (auto& rc : c.rcvq) env_.rx_done(rc.frame);
+  }
+  for (auto& [cookie, hdr] : hdr_inflight_) env_.buf_pool->release(hdr);
+}
+
+void TcpEngine::notify(SockId s, TcpEvent e) {
+  if (env_.notify) env_.notify(s, e);
+}
+
+TcpEngine::Conn* TcpEngine::conn_for(SockId s) {
+  auto it = conns_.find(s);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+const TcpEngine::Conn* TcpEngine::conn_for(SockId s) const {
+  auto it = conns_.find(s);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+TcpEngine::Conn* TcpEngine::conn_by_tuple(Ipv4Addr peer, std::uint16_t pport,
+                                          std::uint16_t lport) {
+  auto it = by_tuple_.find(ConnKey{peer.value, pport, lport});
+  return it == by_tuple_.end() ? nullptr : conn_for(it->second);
+}
+
+std::uint16_t TcpEngine::ephemeral_port() {
+  for (int guard = 0; guard < 65536; ++guard) {
+    const std::uint16_t p = next_port_++;
+    if (next_port_ < 30000) next_port_ = 30000;
+    if (listen_ports_.count(p)) continue;
+    bool used = false;
+    for (const auto& [key, sock] : by_tuple_) {
+      if (key.lport == p) {
+        used = true;
+        break;
+      }
+    }
+    if (!used) return p;
+  }
+  return 0;
+}
+
+std::uint32_t TcpEngine::next_isn() { return isn_ += 0x10001; }
+
+// --- socket API -------------------------------------------------------------------
+
+SockId TcpEngine::open() {
+  const SockId id = next_sock_++;
+  embryos_.emplace(id, TupleInfo{});
+  return id;
+}
+
+bool TcpEngine::bind(SockId s, Ipv4Addr local, std::uint16_t port) {
+  auto it = embryos_.find(s);
+  if (it == embryos_.end()) return false;
+  if (port != 0 && listen_ports_.count(port)) return false;
+  it->second.local = local;
+  it->second.lport = port;
+  return true;
+}
+
+bool TcpEngine::listen(SockId s, int backlog) {
+  auto it = embryos_.find(s);
+  if (it == embryos_.end()) return false;
+  if (it->second.lport == 0) return false;  // must bind first
+  Listener l;
+  l.sock = s;
+  l.addr = it->second.local;
+  l.port = it->second.lport;
+  l.backlog = std::max(1, backlog);
+  listen_ports_[l.port] = s;
+  listeners_.emplace(s, std::move(l));
+  embryos_.erase(it);
+  return true;
+}
+
+std::optional<SockId> TcpEngine::accept(SockId s) {
+  auto it = listeners_.find(s);
+  if (it == listeners_.end() || it->second.acceptq.empty())
+    return std::nullopt;
+  const SockId child = it->second.acceptq.front();
+  it->second.acceptq.pop_front();
+  return child;
+}
+
+bool TcpEngine::connect(SockId s, Ipv4Addr dst, std::uint16_t port) {
+  auto it = embryos_.find(s);
+  if (it == embryos_.end()) return false;
+  Ipv4Addr local = it->second.local;
+  if (local.is_zero() && env_.src_for) local = env_.src_for(dst);
+  std::uint16_t lport = it->second.lport;
+  if (lport == 0) lport = ephemeral_port();
+  if (lport == 0) return false;
+  if (conn_by_tuple(dst, port, lport) != nullptr) return false;
+  embryos_.erase(it);
+
+  Conn c;
+  c.sock = s;
+  c.state = TcpState::SynSent;
+  c.local = local;
+  c.lport = lport;
+  c.peer = dst;
+  c.pport = port;
+  c.iss = next_isn();
+  c.snd_una = c.iss;
+  c.snd_nxt = c.iss;        // SYN not yet on the wire
+  c.snd_buf_end = c.iss + 1;  // SYN occupies one sequence number
+  c.cwnd = opts_.initial_cwnd_segs * opts_.mss;
+  c.ssthresh = 0x7fffffff;
+  c.rto = opts_.rto_initial;
+  c.snd_wnd = opts_.mss;  // until the peer tells us
+  conns_.emplace(s, std::move(c));
+  by_tuple_[ConnKey{dst.value, port, lport}] = s;
+
+  Conn& ref = conns_[s];
+  send_segment(ref, ref.iss, 0, tcpflag::kSyn, false);
+  ref.snd_nxt = ref.iss + 1;
+  ref.high_water = ref.snd_nxt;
+  ref.syn_attempts = 1;
+  arm_rto(ref);
+  return true;
+}
+
+std::size_t TcpEngine::send_space(SockId s) const {
+  const Conn* c = conn_for(s);
+  if (c == nullptr) return 0;
+  if (c->state != TcpState::Established && c->state != TcpState::CloseWait)
+    return 0;
+  if (c->fin_queued) return 0;
+  return c->sndq_bytes >= opts_.sndbuf_max ? 0
+                                           : opts_.sndbuf_max - c->sndq_bytes;
+}
+
+chan::RichPtr TcpEngine::alloc_payload(std::uint32_t len) {
+  return env_.buf_pool->alloc(len);
+}
+
+bool TcpEngine::send(SockId s, chan::RichPtr payload) {
+  Conn* c = conn_for(s);
+  if (c == nullptr || !payload.valid() ||
+      (c->state != TcpState::Established && c->state != TcpState::CloseWait) ||
+      c->fin_queued || c->sndq_bytes + payload.length > opts_.sndbuf_max) {
+    if (c != nullptr && payload.valid() &&
+        c->sndq_bytes + payload.length > opts_.sndbuf_max) {
+      c->was_send_blocked = true;  // Writable fires when ACKs free space
+    }
+    if (payload.valid()) env_.buf_pool->release(payload);
+    return false;
+  }
+  SendChunk sc;
+  sc.seq = c->snd_buf_end;
+  sc.chunk = payload;
+  c->snd_buf_end += payload.length;
+  c->sndq_bytes += payload.length;
+  c->sndq.push_back(sc);
+  tcp_output(*c);
+  return true;
+}
+
+std::size_t TcpEngine::recv_available(SockId s) const {
+  const Conn* c = conn_for(s);
+  return c == nullptr ? 0 : c->rcvq_bytes;
+}
+
+std::size_t TcpEngine::recv(SockId s, std::span<std::byte> out) {
+  Conn* c = conn_for(s);
+  if (c == nullptr) return 0;
+  std::size_t copied = 0;
+  const std::uint32_t space_before = rcv_space(*c);
+  while (copied < out.size() && !c->rcvq.empty()) {
+    RecvChunk& rc = c->rcvq.front();
+    const std::size_t want = out.size() - copied;
+    const std::size_t avail = rc.len - rc.consumed;
+    const std::size_t n = std::min(want, avail);
+    auto bytes = env_.pools->read(rc.frame);
+    if (bytes.size() >= static_cast<std::size_t>(rc.offset) + rc.len) {
+      std::memcpy(out.data() + copied,
+                  bytes.data() + rc.offset + rc.consumed, n);
+    }
+    rc.consumed += static_cast<std::uint16_t>(n);
+    copied += n;
+    c->rcvq_bytes -= static_cast<std::uint32_t>(n);
+    if (rc.consumed == rc.len) {
+      env_.rx_done(rc.frame);
+      c->rcvq.pop_front();
+    }
+  }
+  // Window update: if the window was effectively closed and just reopened,
+  // tell the peer (we have no persist timer; see DESIGN.md).
+  if (copied > 0 && space_before < opts_.mss &&
+      rcv_space(*c) >= opts_.mss && c->state == TcpState::Established) {
+    send_ack(*c);
+  }
+  return copied;
+}
+
+bool TcpEngine::close(SockId s) {
+  if (embryos_.erase(s) > 0) return true;
+  auto lit = listeners_.find(s);
+  if (lit != listeners_.end()) {
+    // Children waiting in the accept queue are reset.
+    for (SockId child : lit->second.acceptq) destroy_conn(child, false);
+    listen_ports_.erase(lit->second.port);
+    listeners_.erase(lit);
+    return true;
+  }
+  Conn* c = conn_for(s);
+  if (c == nullptr) return false;
+  switch (c->state) {
+    case TcpState::SynSent:
+      destroy_conn(s, false);
+      return true;
+    case TcpState::SynRcvd:
+    case TcpState::Established:
+      c->fin_queued = true;
+      c->state = TcpState::FinWait1;
+      tcp_output(*c);
+      return true;
+    case TcpState::CloseWait:
+      c->fin_queued = true;
+      c->state = TcpState::LastAck;
+      tcp_output(*c);
+      return true;
+    default:
+      return true;  // already closing
+  }
+}
+
+void TcpEngine::abort(SockId s) {
+  Conn* c = conn_for(s);
+  if (c == nullptr) {
+    embryos_.erase(s);
+    close(s);
+    return;
+  }
+  send_rst(c->local, c->peer, c->lport, c->pport, c->snd_nxt, 0, false);
+  destroy_conn(s, false);
+}
+
+TcpState TcpEngine::state(SockId s) const {
+  const Conn* c = conn_for(s);
+  if (c != nullptr) return c->state;
+  if (listeners_.count(s)) return TcpState::Listen;
+  if (embryos_.count(s)) return TcpState::Closed;
+  return TcpState::Closed;
+}
+
+std::optional<TcpEngine::TupleInfo> TcpEngine::tuple(SockId s) const {
+  const Conn* c = conn_for(s);
+  if (c == nullptr) return std::nullopt;
+  return TupleInfo{c->local, c->lport, c->peer, c->pport};
+}
+
+// --- window helpers ---------------------------------------------------------------
+
+std::uint32_t TcpEngine::rcv_space(const Conn& c) const {
+  return c.rcvq_bytes >= opts_.rcvbuf_max ? 0
+                                          : opts_.rcvbuf_max - c.rcvq_bytes;
+}
+
+std::uint16_t TcpEngine::window_field(const Conn& c) const {
+  const std::uint32_t scaled = rcv_space(c) >> opts_.wscale;
+  return static_cast<std::uint16_t>(std::min<std::uint32_t>(scaled, 65535));
+}
+
+// --- segment emission ---------------------------------------------------------------
+
+void TcpEngine::send_segment(Conn& c, std::uint32_t seq, std::uint32_t len,
+                             std::uint8_t flags, bool retransmission) {
+  chan::RichPtr hdr = env_.buf_pool->alloc(kTcpHeaderLen);
+  if (!hdr.valid()) return;  // pool exhausted; RTO recovers
+  auto view = env_.buf_pool->write_view(hdr);
+  ByteWriter w{view};
+  TcpHeader h;
+  h.src_port = c.lport;
+  h.dst_port = c.pport;
+  h.seq = seq;
+  h.ack = (flags & tcpflag::kAck) ? c.rcv_nxt : 0;
+  h.flags = flags;
+  h.window = window_field(c);
+  h.serialize(w);
+
+  TxSeg seg;
+  seg.l4_header = hdr;
+  seg.src = c.local;
+  seg.dst = c.peer;
+  seg.protocol = kProtoTcp;
+  seg.offload.tso = opts_.tso && len > opts_.mss;
+  seg.offload.csum_offload = true;  // IP decides; flag travels with the frame
+  seg.offload.mss = opts_.mss;
+
+  // Gather payload refs [seq, seq+len) as sub-ranges of send chunks.
+  if (len > 0) {
+    std::uint32_t remaining = len;
+    for (const SendChunk& sc : c.sndq) {
+      if (remaining == 0) break;
+      const std::uint32_t chunk_end = sc.seq + sc.chunk.length;
+      const std::uint32_t want_start = seq + (len - remaining);
+      if (seq_leq(chunk_end, want_start)) continue;  // fully before range
+      if (seq_lt(want_start, sc.seq)) break;         // gap (cannot happen)
+      const std::uint32_t skip = want_start - sc.seq;
+      const std::uint32_t take =
+          std::min(remaining, sc.chunk.length - skip);
+      chan::RichPtr sub = sc.chunk;
+      sub.offset += skip;
+      sub.length = take;
+      seg.payload.push_back(sub);
+      remaining -= take;
+    }
+    assert(remaining == 0 && "send range not covered by sndq");
+  }
+
+  const std::uint64_t cookie = next_cookie_++;
+  hdr_inflight_.emplace(cookie, hdr);
+  ++stats_.segs_out;
+  if (flags & tcpflag::kAck) ++stats_.acks_out;
+  if (retransmission) {
+    stats_.bytes_retx += len;
+  } else {
+    stats_.bytes_out += len;
+  }
+
+  // RTT sampling (Karn's rule: never sample retransmitted segments).
+  if (!retransmission && len > 0 && !c.rtt_sampling) {
+    c.rtt_sampling = true;
+    c.rtt_seq = seq + len;
+    c.rtt_sent_at = env_.clock->now();
+  }
+  c.segs_since_ack = 0;
+  if (c.ack_timer) {
+    env_.timers->cancel(c.ack_timer);
+    c.ack_timer = 0;
+  }
+  env_.output(std::move(seg), cookie);
+}
+
+void TcpEngine::send_ack(Conn& c) {
+  send_segment(c, c.snd_nxt, 0, tcpflag::kAck, false);
+}
+
+void TcpEngine::send_rst(Ipv4Addr src, Ipv4Addr dst, std::uint16_t sport,
+                         std::uint16_t dport, std::uint32_t seq,
+                         std::uint32_t ack, bool with_ack) {
+  chan::RichPtr hdr = env_.buf_pool->alloc(kTcpHeaderLen);
+  if (!hdr.valid()) return;
+  auto view = env_.buf_pool->write_view(hdr);
+  ByteWriter w{view};
+  TcpHeader h;
+  h.src_port = sport;
+  h.dst_port = dport;
+  h.seq = seq;
+  h.ack = ack;
+  h.flags = static_cast<std::uint8_t>(tcpflag::kRst |
+                                      (with_ack ? tcpflag::kAck : 0));
+  h.window = 0;
+  h.serialize(w);
+
+  TxSeg seg;
+  seg.l4_header = hdr;
+  seg.src = src;
+  seg.dst = dst;
+  seg.protocol = kProtoTcp;
+  const std::uint64_t cookie = next_cookie_++;
+  hdr_inflight_.emplace(cookie, hdr);
+  ++stats_.resets_out;
+  ++stats_.segs_out;
+  env_.output(std::move(seg), cookie);
+}
+
+void TcpEngine::seg_done(std::uint64_t cookie, bool sent) {
+  (void)sent;  // data loss is repaired by retransmission
+  auto it = hdr_inflight_.find(cookie);
+  if (it == hdr_inflight_.end()) return;  // stale (pre-crash) completion
+  env_.buf_pool->release(it->second);
+  hdr_inflight_.erase(it);
+}
+
+void TcpEngine::on_ip_restart() {
+  // Completions for in-flight headers will never arrive: free them all.
+  for (auto& [cookie, hdr] : hdr_inflight_) env_.buf_pool->release(hdr);
+  hdr_inflight_.clear();
+  // Resubmit: anything not ACKed may or may not have reached the wire.  We
+  // prefer duplicates over RTO stalls (Section V-D "IP"): go back to
+  // snd_una and retransmit immediately.
+  for (auto& [sock, c] : conns_) {
+    if (c.state != TcpState::Established && c.state != TcpState::FinWait1 &&
+        c.state != TcpState::CloseWait && c.state != TcpState::LastAck)
+      continue;
+    if (seq_lt(c.snd_una, c.snd_nxt)) {
+      c.snd_nxt = c.snd_una;
+      c.rtt_sampling = false;
+      tcp_output(c);
+      arm_rto(c);
+    }
+  }
+}
+
+void TcpEngine::on_path_restored() {
+  for (auto& [sock, c] : conns_) {
+    if (c.state != TcpState::Established && c.state != TcpState::FinWait1 &&
+        c.state != TcpState::CloseWait && c.state != TcpState::LastAck)
+      continue;
+    if (!seq_lt(c.snd_una, c.snd_nxt)) continue;
+    c.rto = opts_.rto_initial;
+    c.snd_nxt = c.snd_una;
+    c.in_recovery = false;
+    c.dup_acks = 0;
+    c.rtt_sampling = false;
+    tcp_output(c);
+    arm_rto(c);
+  }
+}
+
+// --- output engine -----------------------------------------------------------------
+
+void TcpEngine::tcp_output(Conn& c) {
+  if (c.state != TcpState::Established && c.state != TcpState::CloseWait &&
+      c.state != TcpState::FinWait1 && c.state != TcpState::LastAck &&
+      c.state != TcpState::Closing)
+    return;
+
+  const std::uint32_t fin_seq = c.snd_buf_end;  // FIN sits after the stream
+  bool sent_any = false;
+  for (;;) {
+    const std::uint32_t wnd = std::min(c.cwnd, c.snd_wnd);
+    const std::uint32_t inflight = flight_size(c);
+    if (inflight >= wnd) break;
+    const std::uint32_t wnd_avail = wnd - inflight;
+
+    // Bytes of queued payload not yet sent.
+    const std::uint32_t unsent =
+        seq_lt(c.snd_nxt, fin_seq) ? fin_seq - c.snd_nxt : 0;
+    const std::uint32_t max_seg =
+        opts_.tso ? opts_.tso_max_payload : opts_.mss;
+    const std::uint32_t len =
+        std::min({unsent, wnd_avail, max_seg});
+
+    const bool send_fin = c.fin_queued && !seq_lt(c.snd_nxt + len, fin_seq) &&
+                          seq_leq(c.snd_nxt, fin_seq);
+    if (len == 0 && !send_fin) break;
+    // Anything below the high-water mark has been on the wire before.
+    const bool retx = seq_lt(c.snd_nxt, c.high_water);
+
+    std::uint8_t flags = tcpflag::kAck;
+    if (len > 0) flags |= tcpflag::kPsh;
+    if (send_fin) flags |= tcpflag::kFin;
+    send_segment(c, c.snd_nxt, len, flags, retx);
+    c.snd_nxt += len + (send_fin ? 1 : 0);
+    if (seq_lt(c.high_water, c.snd_nxt)) c.high_water = c.snd_nxt;
+    sent_any = true;
+    if (send_fin) break;
+  }
+  if (sent_any && c.rto_timer == 0 && seq_lt(c.snd_una, c.snd_nxt))
+    arm_rto(c);
+}
+
+// --- timers ------------------------------------------------------------------------
+
+void TcpEngine::arm_rto(Conn& c) {
+  cancel_rto(c);
+  const SockId sock = c.sock;
+  c.rto_timer = env_.timers->schedule(c.rto, [this, sock] { on_rto(sock); });
+}
+
+void TcpEngine::cancel_rto(Conn& c) {
+  if (c.rto_timer) {
+    env_.timers->cancel(c.rto_timer);
+    c.rto_timer = 0;
+  }
+}
+
+void TcpEngine::on_rto(SockId sock) {
+  Conn* c = conn_for(sock);
+  if (c == nullptr) return;
+  c->rto_timer = 0;
+
+  if (c->state == TcpState::SynSent || c->state == TcpState::SynRcvd) {
+    if (++c->syn_attempts > opts_.syn_retries) {
+      destroy_conn(sock, true);
+      return;
+    }
+    const std::uint8_t flags =
+        c->state == TcpState::SynSent
+            ? tcpflag::kSyn
+            : static_cast<std::uint8_t>(tcpflag::kSyn | tcpflag::kAck);
+    send_segment(*c, c->iss, 0, flags, true);
+    c->rto = std::min(c->rto * 2, opts_.rto_max);
+    arm_rto(*c);
+    return;
+  }
+  if (seq_leq(c->snd_nxt, c->snd_una) && !c->fin_queued) return;
+
+  ++stats_.rtos;
+  // Classic Reno timeout: collapse to one segment, go-back-N.
+  c->ssthresh = std::max(flight_size(*c) / 2, 2u * opts_.mss);
+  c->cwnd = opts_.mss;
+  c->snd_nxt = c->snd_una;
+  c->dup_acks = 0;
+  c->in_recovery = false;
+  c->rtt_sampling = false;
+  c->rto = std::min(c->rto * 2, opts_.rto_max);
+  tcp_output(*c);
+  arm_rto(*c);
+}
+
+void TcpEngine::schedule_ack(Conn& c) {
+  ++c.segs_since_ack;
+  if (c.segs_since_ack >= 2) {
+    send_ack(c);
+    return;
+  }
+  if (c.ack_timer == 0) {
+    const SockId sock = c.sock;
+    c.ack_timer = env_.timers->schedule(opts_.delayed_ack, [this, sock] {
+      Conn* cc = conn_for(sock);
+      if (cc == nullptr) return;
+      cc->ack_timer = 0;
+      if (cc->segs_since_ack > 0) send_ack(*cc);
+    });
+  }
+}
+
+// --- ACK processing -----------------------------------------------------------------
+
+void TcpEngine::process_ack(Conn& c, const TcpHeader& h) {
+  const std::uint32_t ack = h.ack;
+  // Update the peer's advertised window (scaled; see DESIGN.md).
+  c.snd_wnd = static_cast<std::uint32_t>(h.window) << opts_.wscale;
+
+  // Accept ACKs up to the high-water mark: after an RTO rewound snd_nxt,
+  // ACKs for data sent before the rewind are still valid.
+  if (seq_lt(c.snd_una, ack) && seq_leq(ack, c.high_water)) {
+    const std::uint32_t acked = ack - c.snd_una;
+    c.snd_una = ack;
+    if (seq_lt(c.snd_nxt, ack)) c.snd_nxt = ack;
+
+    // RTT sample (Jacobson/Karn).
+    if (c.rtt_sampling && seq_leq(c.rtt_seq, ack)) {
+      const sim::Time m = env_.clock->now() - c.rtt_sent_at;
+      if (c.srtt == 0) {
+        c.srtt = m;
+        c.rttvar = m / 2;
+      } else {
+        const sim::Time err = m > c.srtt ? m - c.srtt : c.srtt - m;
+        c.rttvar = (3 * c.rttvar + err) / 4;
+        c.srtt = (7 * c.srtt + m) / 8;
+      }
+      c.rto = std::clamp(c.srtt + 4 * c.rttvar, opts_.rto_min, opts_.rto_max);
+      c.rtt_sampling = false;
+    }
+
+    // Congestion control: NewReno (RFC 6582) — partial ACKs during fast
+    // recovery retransmit the next hole immediately instead of waiting for
+    // an RTO (burst drops at a full TX ring leave many holes).
+    if (c.in_recovery) {
+      if (seq_lt(ack, c.recover)) {
+        // Partial ACK: retransmit the segment at the new snd_una.
+        const bool fin_at_una = c.fin_queued && ack == c.snd_buf_end;
+        if (fin_at_una) {
+          send_segment(c, ack, 0,
+                       static_cast<std::uint8_t>(tcpflag::kAck |
+                                                 tcpflag::kFin),
+                       true);
+        } else if (seq_lt(ack, c.snd_buf_end)) {
+          // Fill up to two holes per partial ACK: without SACK this is the
+          // only lever against long loss runs (TSO bursts can overrun a
+          // receiver ring and punch hundreds of holes).
+          std::uint32_t at = ack;
+          for (int k = 0; k < 2 && seq_lt(at, c.snd_buf_end); ++k) {
+            const std::uint32_t n =
+                std::min<std::uint32_t>(opts_.mss, c.snd_buf_end - at);
+            send_segment(
+                c, at, n,
+                static_cast<std::uint8_t>(tcpflag::kAck | tcpflag::kPsh),
+                true);
+            at += n;
+          }
+        }
+        // Deflate by the amount ACKed, then inflate by one segment.
+        c.cwnd = (c.cwnd > acked ? c.cwnd - acked : opts_.mss) + opts_.mss;
+        arm_rto(c);
+      } else {
+        c.in_recovery = false;
+        c.cwnd = c.ssthresh;
+        c.dup_acks = 0;
+      }
+    } else if (c.cwnd < c.ssthresh) {
+      c.cwnd += std::min(acked, 2u * opts_.mss * 16u);  // slow start
+      c.dup_acks = 0;
+    } else {
+      c.cwnd += std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(
+                 static_cast<std::uint64_t>(opts_.mss) * acked / c.cwnd));
+      c.dup_acks = 0;
+    }
+
+    // Drop fully-ACKed chunks; their payload is finally freed (Section V-C:
+    // the owner frees, and only when nobody needs the bytes for retransmit).
+    while (!c.sndq.empty()) {
+      const SendChunk& front = c.sndq.front();
+      if (!seq_leq(front.seq + front.chunk.length, ack)) break;
+      c.sndq_bytes -= front.chunk.length;
+      env_.buf_pool->release(front.chunk);
+      c.sndq.pop_front();
+    }
+
+    if (seq_leq(c.snd_nxt, c.snd_una)) {
+      cancel_rto(c);
+    } else {
+      arm_rto(c);
+    }
+
+    if (c.was_send_blocked && send_space(c.sock) > 0) {
+      c.was_send_blocked = false;
+      notify(c.sock, TcpEvent::Writable);
+    }
+  } else if (ack == c.snd_una && seq_lt(c.snd_una, c.snd_nxt)) {
+    // Duplicate ACK.
+    ++stats_.dup_acks_in;
+    ++c.dup_acks;
+    if (!c.in_recovery && c.dup_acks == 3) {
+      ++stats_.fast_retransmits;
+      c.in_recovery = true;
+      c.recover = c.snd_nxt;
+      c.ssthresh = std::max(flight_size(c) / 2, 2u * opts_.mss);
+      const std::uint32_t resend =
+          std::min<std::uint32_t>(opts_.mss, c.snd_nxt - c.snd_una);
+      // The retransmitted range may include the FIN.
+      const bool fin_at_una = c.fin_queued && c.snd_una == c.snd_buf_end;
+      if (fin_at_una) {
+        send_segment(c, c.snd_una, 0,
+                     static_cast<std::uint8_t>(tcpflag::kAck | tcpflag::kFin),
+                     true);
+      } else if (resend > 0) {
+        send_segment(c, c.snd_una, std::min(resend, c.snd_buf_end - c.snd_una),
+                     static_cast<std::uint8_t>(tcpflag::kAck | tcpflag::kPsh),
+                     true);
+      }
+      c.cwnd = c.ssthresh + 3 * opts_.mss;
+      arm_rto(c);
+    } else if (c.in_recovery) {
+      c.cwnd += opts_.mss;  // inflate during fast recovery
+      tcp_output(c);
+    }
+  }
+}
+
+// --- input -------------------------------------------------------------------------
+
+void TcpEngine::input(L4Packet&& pkt) {
+  ++stats_.segs_in;
+  auto bytes = env_.pools->read(pkt.frame);
+  if (bytes.size() <
+          static_cast<std::size_t>(pkt.l4_offset) + kTcpHeaderLen ||
+      pkt.l4_length < kTcpHeaderLen) {
+    env_.rx_done(pkt.frame);
+    return;
+  }
+  ByteReader r{bytes.subspan(pkt.l4_offset, pkt.l4_length)};
+  auto h = TcpHeader::parse(r);
+  if (!h) {
+    env_.rx_done(pkt.frame);
+    return;
+  }
+  const std::uint16_t data_off =
+      static_cast<std::uint16_t>(pkt.l4_offset + r.consumed());
+  const std::uint16_t data_len =
+      static_cast<std::uint16_t>(pkt.l4_length - r.consumed());
+
+  Conn* c = conn_by_tuple(pkt.src, h->src_port, h->dst_port);
+  if (c == nullptr) {
+    // New connection?
+    auto lp = listen_ports_.find(h->dst_port);
+    if (lp != listen_ports_.end() && h->has(tcpflag::kSyn) &&
+        !h->has(tcpflag::kAck)) {
+      Listener& l = listeners_[lp->second];
+      if (static_cast<int>(l.acceptq.size()) >= l.backlog) {
+        env_.rx_done(pkt.frame);
+        return;  // silently drop; peer retries
+      }
+      const SockId child = next_sock_++;
+      Conn nc;
+      nc.sock = child;
+      nc.state = TcpState::SynRcvd;
+      nc.local = l.addr.is_zero() ? pkt.dst : l.addr;
+      nc.lport = l.port;
+      nc.peer = pkt.src;
+      nc.pport = h->src_port;
+      nc.irs = h->seq;
+      nc.rcv_nxt = h->seq + 1;
+      nc.iss = next_isn();
+      nc.snd_una = nc.iss;
+      nc.snd_nxt = nc.iss + 1;
+      nc.snd_buf_end = nc.iss + 1;
+      nc.high_water = nc.iss + 1;
+      nc.cwnd = opts_.initial_cwnd_segs * opts_.mss;
+      nc.ssthresh = 0x7fffffff;
+      nc.rto = opts_.rto_initial;
+      nc.snd_wnd = static_cast<std::uint32_t>(h->window) << opts_.wscale;
+      nc.parent_listener = l.sock;
+      conns_.emplace(child, std::move(nc));
+      by_tuple_[ConnKey{pkt.src.value, h->src_port, h->dst_port}] = child;
+      Conn& ref = conns_[child];
+      send_segment(ref, ref.iss, 0,
+                   static_cast<std::uint8_t>(tcpflag::kSyn | tcpflag::kAck),
+                   false);
+      ref.syn_attempts = 1;
+      arm_rto(ref);
+    } else if (!h->has(tcpflag::kRst)) {
+      // No socket: refuse.
+      if (h->has(tcpflag::kAck)) {
+        send_rst(pkt.dst, pkt.src, h->dst_port, h->src_port, h->ack, 0,
+                 false);
+      } else {
+        send_rst(pkt.dst, pkt.src, h->dst_port, h->src_port, 0,
+                 h->seq + data_len + (h->has(tcpflag::kSyn) ? 1 : 0), true);
+      }
+    }
+    env_.rx_done(pkt.frame);
+    return;
+  }
+
+  // --- existing connection ---
+  if (h->has(tcpflag::kRst)) {
+    const bool in_window =
+        seq_leq(c->rcv_nxt, h->seq) || c->state == TcpState::SynSent;
+    env_.rx_done(pkt.frame);
+    if (in_window) destroy_conn(c->sock, true);
+    return;
+  }
+
+  switch (c->state) {
+    case TcpState::SynSent:
+      if (h->has(tcpflag::kSyn) && h->has(tcpflag::kAck) &&
+          h->ack == c->iss + 1) {
+        c->irs = h->seq;
+        c->rcv_nxt = h->seq + 1;
+        c->snd_una = h->ack;
+        c->snd_wnd = static_cast<std::uint32_t>(h->window) << opts_.wscale;
+        c->state = TcpState::Established;
+        c->rto = opts_.rto_initial;
+        cancel_rto(*c);
+        ++stats_.conns_established;
+        send_ack(*c);
+        notify(c->sock, TcpEvent::Connected);
+        tcp_output(*c);
+      }
+      env_.rx_done(pkt.frame);
+      return;
+
+    case TcpState::SynRcvd:
+      if (h->has(tcpflag::kSyn) && !h->has(tcpflag::kAck)) {
+        // Retransmitted SYN: re-answer.
+        send_segment(*c, c->iss, 0,
+                     static_cast<std::uint8_t>(tcpflag::kSyn | tcpflag::kAck),
+                     true);
+        env_.rx_done(pkt.frame);
+        return;
+      }
+      if (h->has(tcpflag::kAck) && h->ack == c->iss + 1) {
+        c->snd_una = h->ack;
+        c->snd_wnd = static_cast<std::uint32_t>(h->window) << opts_.wscale;
+        c->state = TcpState::Established;
+        c->rto = opts_.rto_initial;
+        cancel_rto(*c);
+        ++stats_.conns_established;
+        Listener* l = nullptr;
+        auto lit = listeners_.find(c->parent_listener);
+        if (lit != listeners_.end()) l = &lit->second;
+        if (l != nullptr) {
+          l->acceptq.push_back(c->sock);
+          notify(l->sock, TcpEvent::AcceptReady);
+        }
+        // Fall through into established processing for piggybacked data.
+        break;
+      }
+      env_.rx_done(pkt.frame);
+      return;
+
+    default:
+      break;
+  }
+
+  // ACK handling for synchronized states.
+  if (h->has(tcpflag::kAck)) {
+    process_ack(*c, *h);
+
+    // Did our FIN get ACKed?
+    const bool fin_acked =
+        c->fin_queued && c->snd_una == c->snd_buf_end + 1;
+    if (fin_acked) {
+      if (c->state == TcpState::FinWait1) {
+        c->state = TcpState::FinWait2;
+      } else if (c->state == TcpState::Closing) {
+        enter_time_wait(*c);
+      } else if (c->state == TcpState::LastAck) {
+        env_.rx_done(pkt.frame);
+        destroy_conn(c->sock, false);
+        return;
+      }
+    }
+  }
+
+  // In-order data acceptance.
+  bool frame_retained = false;
+  if (data_len > 0) {
+    accept_data(*c, pkt, *h, data_off, data_len);
+    // accept_data took ownership decisions; it retains the frame iff bytes
+    // were queued.  Detect by checking the queue tail.
+    frame_retained = !c->rcvq.empty() && c->rcvq.back().frame == pkt.frame;
+  }
+
+  // ACKs clock the sender: freed window and cwnd growth admit new segments.
+  if (h->has(tcpflag::kAck)) tcp_output(*c);
+
+  // FIN processing (only when all data up to the FIN has arrived).
+  if (h->has(tcpflag::kFin) && h->seq + data_len == c->rcv_nxt &&
+      !c->peer_fin) {
+    c->peer_fin = true;
+    c->rcv_nxt += 1;
+    send_ack(*c);
+    switch (c->state) {
+      case TcpState::Established:
+        c->state = TcpState::CloseWait;
+        notify(c->sock, TcpEvent::PeerClosed);
+        break;
+      case TcpState::FinWait1:
+        c->state = TcpState::Closing;
+        notify(c->sock, TcpEvent::PeerClosed);
+        break;
+      case TcpState::FinWait2:
+        notify(c->sock, TcpEvent::PeerClosed);
+        enter_time_wait(*c);
+        break;
+      default:
+        break;
+    }
+  }
+
+  if (!frame_retained) env_.rx_done(pkt.frame);
+}
+
+void TcpEngine::accept_data(Conn& c, const L4Packet& pkt, const TcpHeader& h,
+                            std::uint16_t data_off, std::uint16_t data_len) {
+  std::uint32_t seq = h.seq;
+  std::uint16_t off = data_off;
+  std::uint16_t len = data_len;
+
+  // Trim bytes we already have (retransmitted overlap).
+  if (seq_lt(seq, c.rcv_nxt)) {
+    const std::uint32_t dup = c.rcv_nxt - seq;
+    if (dup >= len) {
+      send_ack(c);  // pure duplicate
+      return;
+    }
+    seq += dup;
+    off = static_cast<std::uint16_t>(off + dup);
+    len = static_cast<std::uint16_t>(len - dup);
+  }
+
+  if (seq != c.rcv_nxt) {
+    // Out of order: we keep the receiver simple (no reassembly queue) and
+    // rely on dup-ACK-driven retransmission — see DESIGN.md.
+    ++stats_.ooo_dropped;
+    send_ack(c);
+    return;
+  }
+  if (len > rcv_space(c)) {
+    // Window overflow: drop; the advertised window should prevent this.
+    send_ack(c);
+    return;
+  }
+
+  RecvChunk rc;
+  rc.frame = pkt.frame;
+  rc.offset = off;
+  rc.len = len;
+  c.rcvq.push_back(rc);
+  const bool was_empty = c.rcvq_bytes == 0;
+  c.rcvq_bytes += len;
+  c.rcv_nxt += len;
+  stats_.bytes_in += len;
+  schedule_ack(c);
+  if (was_empty) notify(c.sock, TcpEvent::Readable);
+}
+
+// --- teardown ----------------------------------------------------------------------
+
+void TcpEngine::enter_time_wait(Conn& c) {
+  c.state = TcpState::TimeWait;
+  cancel_rto(c);
+  const SockId sock = c.sock;
+  if (c.timewait_timer) env_.timers->cancel(c.timewait_timer);
+  c.timewait_timer = env_.timers->schedule(
+      opts_.time_wait, [this, sock] { destroy_conn(sock, false); });
+}
+
+void TcpEngine::destroy_conn(SockId s, bool notify_reset) {
+  auto it = conns_.find(s);
+  if (it == conns_.end()) return;
+  Conn& c = it->second;
+  if (c.rto_timer) env_.timers->cancel(c.rto_timer);
+  if (c.ack_timer) env_.timers->cancel(c.ack_timer);
+  if (c.timewait_timer) env_.timers->cancel(c.timewait_timer);
+  for (auto& sc : c.sndq) env_.buf_pool->release(sc.chunk);
+  for (auto& rc : c.rcvq) env_.rx_done(rc.frame);
+  by_tuple_.erase(ConnKey{c.peer.value, c.pport, c.lport});
+  const bool was_established = c.state == TcpState::Established ||
+                               c.state == TcpState::CloseWait ||
+                               c.state == TcpState::FinWait1 ||
+                               c.state == TcpState::FinWait2;
+  conns_.erase(it);
+  if (notify_reset) {
+    notify(s, TcpEvent::Reset);
+  } else if (was_established) {
+    notify(s, TcpEvent::Closed);
+  }
+}
+
+// --- recovery ----------------------------------------------------------------------
+
+std::vector<TcpEngine::ListenRec> TcpEngine::listeners() const {
+  std::vector<ListenRec> out;
+  out.reserve(listeners_.size());
+  for (const auto& [sock, l] : listeners_)
+    out.push_back(ListenRec{sock, l.addr, l.port, l.backlog});
+  return out;
+}
+
+void TcpEngine::restore_listener(const ListenRec& rec) {
+  Listener l;
+  l.sock = rec.id;
+  l.addr = rec.addr;
+  l.port = rec.port;
+  l.backlog = rec.backlog;
+  listen_ports_[l.port] = rec.id;
+  listeners_[rec.id] = std::move(l);
+  next_sock_ = std::max(next_sock_, rec.id + 1);
+}
+
+std::vector<std::byte> TcpEngine::serialize_listeners(
+    const std::vector<ListenRec>& recs) {
+  std::vector<std::byte> out(4 + recs.size() * 12);
+  std::uint32_t n = static_cast<std::uint32_t>(recs.size());
+  std::memcpy(out.data(), &n, 4);
+  std::size_t off = 4;
+  for (const auto& rec : recs) {
+    std::memcpy(out.data() + off + 0, &rec.id, 4);
+    std::memcpy(out.data() + off + 4, &rec.addr.value, 4);
+    std::memcpy(out.data() + off + 8, &rec.port, 2);
+    std::uint16_t backlog = static_cast<std::uint16_t>(rec.backlog);
+    std::memcpy(out.data() + off + 10, &backlog, 2);
+    off += 12;
+  }
+  return out;
+}
+
+std::optional<std::vector<TcpEngine::ListenRec>> TcpEngine::parse_listeners(
+    std::span<const std::byte> data) {
+  if (data.size() < 4) return std::nullopt;
+  std::uint32_t n;
+  std::memcpy(&n, data.data(), 4);
+  if (data.size() < 4 + static_cast<std::size_t>(n) * 12) return std::nullopt;
+  std::vector<ListenRec> out;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::byte* p = data.data() + 4 + i * 12;
+    ListenRec rec;
+    std::memcpy(&rec.id, p + 0, 4);
+    std::memcpy(&rec.addr.value, p + 4, 4);
+    std::memcpy(&rec.port, p + 8, 2);
+    std::uint16_t backlog;
+    std::memcpy(&backlog, p + 10, 2);
+    rec.backlog = backlog;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::string TcpEngine::debug(SockId s) const {
+  const Conn* c = conn_for(s);
+  if (c == nullptr) return "sock " + std::to_string(s) + ": no conn";
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "sock %u %s una=%u nxt=%u buf_end=%u hw=%u cwnd=%u ssthresh=%u "
+      "rwnd=%u dup=%u rec=%d sndq=%zu(%u B) rcv_nxt=%u rcvq=%u B rto=%lldms "
+      "timer=%llu",
+      s, to_string(c->state), c->snd_una, c->snd_nxt, c->snd_buf_end,
+      c->high_water, c->cwnd, c->ssthresh, c->snd_wnd, c->dup_acks,
+      c->in_recovery ? 1 : 0, c->sndq.size(), c->sndq_bytes, c->rcv_nxt,
+      c->rcvq_bytes, static_cast<long long>(c->rto / sim::kMillisecond),
+      static_cast<unsigned long long>(c->rto_timer));
+  return buf;
+}
+
+std::vector<PfStateKey> TcpEngine::connection_keys() const {
+  std::vector<PfStateKey> out;
+  for (const auto& [sock, c] : conns_) {
+    if (c.state != TcpState::Established && c.state != TcpState::CloseWait &&
+        c.state != TcpState::FinWait1 && c.state != TcpState::FinWait2)
+      continue;
+    out.push_back(PfStateKey{kProtoTcp, c.local, c.peer, c.lport, c.pport});
+  }
+  return out;
+}
+
+}  // namespace newtos::net

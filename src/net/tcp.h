@@ -1,0 +1,308 @@
+// TCP: sockets, the full connection state machine, reliable transport and
+// Reno congestion control, with TSO-aware segmentation.
+//
+// Design notes tied to the paper:
+//  - The engine is single-threaded and event-driven, hosted by the TCP
+//    server (split stack) or a combined stack component (Section III-B).
+//  - Send data lives in engine-owned pool chunks; segments reference them
+//    as sub-range rich pointers, so retransmission never copies and a
+//    component crash downstream never loses the original bytes
+//    (Section V-C).  Headers are freed when IP reports the segment done;
+//    payload is freed when ACKed.
+//  - With TSO enabled, the engine emits superframes up to ~61 KB and the
+//    NIC cuts them into MSS-sized frames, collapsing the number of
+//    stack-internal hand-offs per byte — the key to Table II lines 5/6.
+//  - Recovery (Table I): established connections have "large, frequently
+//    changing state" and are NOT recoverable; listening sockets are, via
+//    listeners()/restore_listener().  connection_keys() feeds the packet
+//    filter's state rebuild after a PF crash.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/chan/pool.h"
+#include "src/net/env.h"
+#include "src/net/ip.h"
+#include "src/net/pf.h"
+#include "src/net/udp.h"  // SockId
+
+namespace newtos::net {
+
+enum class TcpState : std::uint8_t {
+  Closed,
+  Listen,
+  SynSent,
+  SynRcvd,
+  Established,
+  FinWait1,
+  FinWait2,
+  CloseWait,
+  Closing,
+  LastAck,
+  TimeWait,
+};
+
+const char* to_string(TcpState s);
+
+enum class TcpEvent : std::uint8_t {
+  Connected,    // active open completed
+  AcceptReady,  // a child connection is waiting in the accept queue
+  Readable,     // receive queue went non-empty
+  Writable,     // send space became available again
+  PeerClosed,   // FIN received (read side drained)
+  Reset,        // connection reset / failed
+  Closed,       // fully closed
+};
+
+struct TcpOptions {
+  std::uint16_t mss = 1460;
+  bool tso = false;
+  // Max payload of one TSO superframe; must keep total_length <= 65535.
+  std::uint32_t tso_max_payload = 42 * 1460;  // 61320
+  // Window scale applied by both ends of the simulation (negotiation is not
+  // modelled on the wire; see DESIGN.md fidelity notes).
+  std::uint8_t wscale = 6;
+  std::uint32_t sndbuf_max = 1 << 20;
+  std::uint32_t rcvbuf_max = 1 << 20;
+  std::uint32_t initial_cwnd_segs = 10;
+  sim::Time rto_initial = 1 * sim::kSecond;
+  sim::Time rto_min = 200 * sim::kMillisecond;
+  sim::Time rto_max = 60 * sim::kSecond;
+  sim::Time delayed_ack = 40 * sim::kMillisecond;
+  sim::Time time_wait = 1 * sim::kSecond;
+  int syn_retries = 5;
+};
+
+class TcpEngine {
+ public:
+  struct Env {
+    Clock* clock = nullptr;
+    TimerService* timers = nullptr;
+    chan::PoolRegistry* pools = nullptr;
+    chan::Pool* buf_pool = nullptr;  // TCP-owned: headers + send payload
+    std::function<void(TxSeg&&, std::uint64_t cookie)> output;  // to IP
+    std::function<void(const chan::RichPtr&)> rx_done;          // to IP
+    std::function<void(SockId, TcpEvent)> notify;
+    std::function<Ipv4Addr(Ipv4Addr dst)> src_for;
+  };
+
+  struct Stats {
+    std::uint64_t segs_out = 0;
+    std::uint64_t segs_in = 0;
+    std::uint64_t bytes_out = 0;      // payload bytes first-transmitted
+    std::uint64_t bytes_in = 0;       // payload bytes accepted in order
+    std::uint64_t bytes_retx = 0;
+    std::uint64_t acks_out = 0;
+    std::uint64_t rtos = 0;
+    std::uint64_t fast_retransmits = 0;
+    std::uint64_t dup_acks_in = 0;
+    std::uint64_t ooo_dropped = 0;
+    std::uint64_t resets_out = 0;
+    std::uint64_t conns_established = 0;
+  };
+
+  TcpEngine(Env env, TcpOptions opts);
+  ~TcpEngine();
+
+  TcpEngine(const TcpEngine&) = delete;
+  TcpEngine& operator=(const TcpEngine&) = delete;
+
+  // --- socket API --------------------------------------------------------------
+  SockId open();
+  bool bind(SockId s, Ipv4Addr local, std::uint16_t port);
+  bool listen(SockId s, int backlog);
+  std::optional<SockId> accept(SockId s);
+  bool connect(SockId s, Ipv4Addr dst, std::uint16_t port);
+
+  std::size_t send_space(SockId s) const;
+  chan::RichPtr alloc_payload(std::uint32_t len);
+  // Enqueues `payload` (ownership passes; must come from alloc_payload).
+  bool send(SockId s, chan::RichPtr payload);
+  std::size_t recv_available(SockId s) const;
+  // Copies up to out.size() bytes of in-order data; releases consumed frames.
+  std::size_t recv(SockId s, std::span<std::byte> out);
+  // Graceful close.  Returns false for unknown sockets.
+  bool close(SockId s);
+  // Hard reset.
+  void abort(SockId s);
+
+  TcpState state(SockId s) const;
+  struct TupleInfo {
+    Ipv4Addr local;
+    std::uint16_t lport = 0;
+    Ipv4Addr peer;
+    std::uint16_t pport = 0;
+  };
+  std::optional<TupleInfo> tuple(SockId s) const;
+
+  // --- from IP ------------------------------------------------------------------
+  void input(L4Packet&& pkt);
+  void seg_done(std::uint64_t cookie, bool sent);
+  // After an IP crash: replies to old cookies will never arrive.  Frees all
+  // pending headers (data stays in sndq) and retransmits aggressively so the
+  // connection recovers its bitrate quickly (Section V-D "IP").
+  void on_ip_restart();
+  // The path below us healed (link back up after a device reset): stop
+  // waiting out backed-off RTOs and retransmit immediately (Section V-D:
+  // "it is much more important that we quickly retransmit").
+  void on_path_restored();
+
+  // --- recovery -----------------------------------------------------------------
+  struct ListenRec {
+    SockId id = 0;
+    Ipv4Addr addr;
+    std::uint16_t port = 0;
+    int backlog = 8;
+  };
+  std::vector<ListenRec> listeners() const;
+  void restore_listener(const ListenRec& rec);
+  static std::vector<std::byte> serialize_listeners(
+      const std::vector<ListenRec>&);
+  static std::optional<std::vector<ListenRec>> parse_listeners(
+      std::span<const std::byte>);
+  std::vector<PfStateKey> connection_keys() const;
+
+  // Human-readable connection state (diagnostics and examples).
+  std::string debug(SockId s) const;
+
+  const Stats& stats() const { return stats_; }
+  const TcpOptions& options() const { return opts_; }
+  std::size_t connection_count() const { return conns_.size(); }
+
+ private:
+  struct SendChunk {
+    std::uint32_t seq = 0;  // sequence number of first byte
+    chan::RichPtr chunk;
+  };
+  struct RecvChunk {
+    chan::RichPtr frame;          // held until consumed, then rx_done
+    std::uint16_t offset = 0;     // payload start within frame
+    std::uint16_t len = 0;
+    std::uint16_t consumed = 0;
+  };
+  struct ConnKey {
+    std::uint32_t peer = 0;
+    std::uint16_t pport = 0;
+    std::uint16_t lport = 0;
+    auto operator<=>(const ConnKey&) const = default;
+  };
+  struct Conn {
+    SockId sock = 0;
+    TcpState state = TcpState::Closed;
+    Ipv4Addr local;
+    std::uint16_t lport = 0;
+    Ipv4Addr peer;
+    std::uint16_t pport = 0;
+
+    // Send side.
+    std::uint32_t iss = 0;
+    std::uint32_t snd_una = 0;
+    std::uint32_t snd_nxt = 0;
+    std::uint32_t snd_buf_end = 0;  // seq after last byte queued
+    std::uint32_t snd_wnd = 0;      // peer-advertised (scaled)
+    std::uint32_t cwnd = 0;
+    std::uint32_t ssthresh = 0;
+    std::uint32_t dup_acks = 0;
+    std::uint32_t high_water = 0;  // highest snd_nxt reached (retx detection)
+    bool in_recovery = false;      // NewReno fast recovery (RFC 6582)
+    std::uint32_t recover = 0;     // recovery point: snd_nxt at loss entry
+    bool fin_queued = false;
+    std::deque<SendChunk> sndq;
+    std::uint32_t sndq_bytes = 0;
+    bool was_send_blocked = false;
+
+    // RTT estimation (Jacobson) + RTO.
+    sim::Time srtt = 0;
+    sim::Time rttvar = 0;
+    sim::Time rto = 0;
+    bool rtt_sampling = false;
+    std::uint32_t rtt_seq = 0;
+    sim::Time rtt_sent_at = 0;
+    TimerService::TimerId rto_timer = 0;
+    int syn_attempts = 0;
+
+    // Receive side.
+    std::uint32_t irs = 0;
+    std::uint32_t rcv_nxt = 0;
+    std::deque<RecvChunk> rcvq;
+    std::uint32_t rcvq_bytes = 0;
+    bool peer_fin = false;
+    bool fin_acked_by_us = false;
+    int segs_since_ack = 0;
+    TimerService::TimerId ack_timer = 0;
+    TimerService::TimerId timewait_timer = 0;
+
+    SockId parent_listener = 0;
+  };
+  struct Listener {
+    SockId sock = 0;
+    Ipv4Addr addr;
+    std::uint16_t port = 0;
+    int backlog = 8;
+    std::deque<SockId> acceptq;
+  };
+
+  // Sequence-space comparisons (wraparound-safe).
+  static bool seq_lt(std::uint32_t a, std::uint32_t b) {
+    return static_cast<std::int32_t>(a - b) < 0;
+  }
+  static bool seq_leq(std::uint32_t a, std::uint32_t b) {
+    return static_cast<std::int32_t>(a - b) <= 0;
+  }
+
+  Conn* conn_for(SockId s);
+  const Conn* conn_for(SockId s) const;
+  Conn* conn_by_tuple(Ipv4Addr peer, std::uint16_t pport, std::uint16_t lport);
+  std::uint16_t ephemeral_port();
+  std::uint32_t next_isn();
+
+  void tcp_output(Conn& c);
+  void send_segment(Conn& c, std::uint32_t seq, std::uint32_t len,
+                    std::uint8_t flags, bool retransmission);
+  void send_ack(Conn& c);
+  void send_rst(Ipv4Addr src, Ipv4Addr dst, std::uint16_t sport,
+                std::uint16_t dport, std::uint32_t seq, std::uint32_t ack,
+                bool with_ack);
+  void schedule_ack(Conn& c);
+  void arm_rto(Conn& c);
+  void cancel_rto(Conn& c);
+  void on_rto(SockId sock);
+  void process_ack(Conn& c, const TcpHeader& h);
+  void accept_data(Conn& c, const L4Packet& pkt, const TcpHeader& h,
+                   std::uint16_t data_off, std::uint16_t data_len);
+  void enter_time_wait(Conn& c);
+  void destroy_conn(SockId s, bool notify_reset);
+  std::uint32_t flight_size(const Conn& c) const {
+    return c.snd_nxt - c.snd_una;
+  }
+  std::uint32_t rcv_space(const Conn& c) const;
+  std::uint16_t window_field(const Conn& c) const;
+  void notify(SockId s, TcpEvent e);
+
+  Env env_;
+  TcpOptions opts_;
+  Stats stats_;
+
+  SockId next_sock_ = 1;
+  std::uint16_t next_port_ = 30000;
+  std::uint32_t isn_ = 0x1000;
+  std::uint64_t next_cookie_ = 1;
+
+  std::unordered_map<SockId, Listener> listeners_;
+  std::unordered_map<std::uint16_t, SockId> listen_ports_;
+  std::unordered_map<SockId, Conn> conns_;
+  std::map<ConnKey, SockId> by_tuple_;
+  std::unordered_map<std::uint64_t, chan::RichPtr> hdr_inflight_;
+  // Sockets created by open() but not yet listener/connection.
+  std::unordered_map<SockId, TupleInfo> embryos_;
+};
+
+}  // namespace newtos::net

@@ -1,0 +1,142 @@
+#include "src/servers/driver_server.h"
+
+#include "src/net/pbuf.h"
+
+namespace newtos::servers {
+
+DriverServer::DriverServer(NodeEnv* env, sim::SimCore* core, drv::SimNic* nic,
+                           int ifindex, std::string ip_name)
+    : Server(env, driver_name(ifindex), core),
+      nic_(nic),
+      ifindex_(ifindex),
+      ip_name_(std::move(ip_name)) {}
+
+void DriverServer::start(bool restart) {
+  expose_in_queue(ip_name_, 512);
+  connect_out(ip_name_);
+  install_device_handlers();
+  if (restart) {
+    // A restarted driver cannot trust the device state it inherited
+    // (Section V-D): full reset, link bounces, IP resubmits.
+    nic_->reset();
+  }
+  announce(restart);
+}
+
+void DriverServer::install_device_handlers() {
+  const std::uint32_t inc = incarnation();
+  // Interrupts are converted to kernel messages by the microkernel
+  // (Section V-B); each handler charges the receive path on our core.
+  nic_->set_tx_done([this, inc](std::uint64_t cookie, bool ok) {
+    if (incarnation() != inc) return;
+    post_kernel_msg(
+        [this, cookie, ok](sim::Context& ctx) {
+          chan::Message m;
+          m.opcode = kDrvTxDone;
+          m.req_id = cookie;
+          m.arg0 = ok ? 1 : 0;
+          send_to(ip_name_, m, ctx);
+          drain_backlog(ctx);  // a ring slot just freed up
+        },
+        100);
+  });
+  nic_->set_rx([this, inc](chan::RichPtr buf, std::uint32_t len) {
+    if (incarnation() != inc) return;
+    post_kernel_msg(
+        [this, buf, len](sim::Context& ctx) {
+          charge(ctx, sim().costs().drv_packet_proc);
+          chan::Message m;
+          m.opcode = kDrvRx;
+          m.ptr = buf;
+          m.ptr.length = len;  // actual frame length within the buffer
+          if (!send_to(ip_name_, m, ctx)) {
+            // IP is down or its queue is full: the frame is dropped; the
+            // buffer itself belongs to IP's pool and will be recovered when
+            // IP reposts buffers.
+          }
+        },
+        100);
+  });
+  nic_->set_link_change([this, inc](bool up) {
+    if (incarnation() != inc) return;
+    post_kernel_msg(
+        [this, up](sim::Context& ctx) {
+          if (up) drain_backlog(ctx);  // the reset emptied the TX ring
+          chan::Message m;
+          m.opcode = kDrvLink;
+          m.arg0 = up ? 1 : 0;
+          send_to(ip_name_, m, ctx);
+        },
+        50);
+  });
+}
+
+void DriverServer::on_message(const std::string& from, const chan::Message& m,
+                              sim::Context& ctx) {
+  (void)from;
+  switch (m.opcode) {
+    case kDrvTx: {
+      charge(ctx, sim().costs().drv_packet_proc);
+      auto chain = net::unpack_chain(*env().pools, m.ptr);
+      if (!chain) {
+        chan::Message done;
+        done.opcode = kDrvTxDone;
+        done.req_id = m.req_id;
+        done.arg0 = 0;
+        send_to(ip_name_, done, ctx);
+        return;
+      }
+      net::TxFrame frame;
+      frame.header = chain->header;
+      frame.payload = std::move(chain->payload);
+      frame.offload = chain->offload;
+      drain_backlog(ctx);  // opportunistic: ring slots may have freed up
+      if (!tx_backlog_.empty() || nic_->tx_ring_free() == 0) {
+        if (tx_backlog_.size() >= kMaxBacklog) {
+          // Shed load: tell IP the frame was not accepted (never block).
+          chan::Message done;
+          done.opcode = kDrvTxDone;
+          done.req_id = m.req_id;
+          done.arg0 = 0;
+          send_to(ip_name_, done, ctx);
+          return;
+        }
+        tx_backlog_.emplace_back(std::move(frame), m.req_id);
+        return;
+      }
+      nic_->tx_post(std::move(frame), m.req_id);
+      return;
+    }
+    case kDrvRxBuf:
+      charge(ctx, 80);
+      nic_->rx_post(m.ptr);
+      return;
+    default:
+      return;  // validate-and-ignore (Section IV-A)
+  }
+}
+
+void DriverServer::drain_backlog(sim::Context& ctx) {
+  (void)ctx;
+  while (!tx_backlog_.empty() && nic_->tx_ring_free() > 0) {
+    auto [frame, cookie] = std::move(tx_backlog_.front());
+    tx_backlog_.pop_front();
+    nic_->tx_post(std::move(frame), cookie);
+  }
+}
+
+void DriverServer::on_peer_up(const std::string& peer, bool restarted,
+                              sim::Context& ctx) {
+  (void)ctx;
+  if (peer == ip_name_ && restarted) {
+    // The Intel gigabit adapters have no knob to invalidate their shadow
+    // copies of the RX/TX descriptors, which point into the dead IP's pools:
+    // a crash of IP means de facto restart of the network drivers too
+    // (Section V-D).  Frames queued for the dead incarnation are dropped;
+    // the new IP resubmits what still matters.
+    tx_backlog_.clear();
+    nic_->reset();
+  }
+}
+
+}  // namespace newtos::servers

@@ -1,0 +1,49 @@
+// Network driver server: one per NIC, the paper's near-stateless component.
+//
+// The driver fills device descriptors from the zero-copy chains IP sends,
+// converts device interrupts into receive messages, and posts IP-owned
+// receive buffers into the RX ring.  It holds no recoverable state: a
+// restart resets the device (losing whatever was in the rings — IP
+// resubmits) and the link bounces.
+#pragma once
+
+#include <cstdint>
+
+#include "src/drv/nic.h"
+#include "src/servers/proto.h"
+#include "src/servers/server.h"
+
+namespace newtos::servers {
+
+class DriverServer : public Server {
+ public:
+  // `ip_name` is the peer hosting the IP layer: the IP server in the split
+  // stack, the combined "stack" server otherwise.
+  DriverServer(NodeEnv* env, sim::SimCore* core, drv::SimNic* nic,
+               int ifindex, std::string ip_name = kIpName);
+
+  drv::SimNic& nic() { return *nic_; }
+  int ifindex() const { return ifindex_; }
+
+ protected:
+  void start(bool restart) override;
+  void on_message(const std::string& from, const chan::Message& m,
+                  sim::Context& ctx) override;
+  void on_peer_up(const std::string& peer, bool restarted,
+                  sim::Context& ctx) override;
+  void on_killed() override { tx_backlog_.clear(); }
+
+ private:
+  void install_device_handlers();
+  void drain_backlog(sim::Context& ctx);
+
+  drv::SimNic* nic_;
+  int ifindex_;
+  std::string ip_name_;
+  // Frames waiting for TX ring slots.  The driver never blocks on a full
+  // ring (Section IV-A); it buffers a bounded backlog and sheds beyond it.
+  std::deque<std::pair<net::TxFrame, std::uint64_t>> tx_backlog_;
+  static constexpr std::size_t kMaxBacklog = 1024;
+};
+
+}  // namespace newtos::servers

@@ -1,0 +1,282 @@
+#include "src/servers/ip_server.h"
+
+#include <cstdlib>
+
+#include "src/net/pbuf.h"
+
+namespace newtos::servers {
+
+IpServer::IpServer(NodeEnv* env, sim::SimCore* core, Config cfg)
+    : Server(env, kIpName, core), cfg_(std::move(cfg)) {}
+
+int IpServer::ifindex_of(const std::string& driver) {
+  return std::atoi(driver.c_str() + 3);  // "drvN"
+}
+
+void IpServer::build_engine() {
+  net::IpEngine::Env e;
+  e.clock = clock();
+  e.timers = timers();
+  e.pools = env().pools;
+  e.hdr_pool = hdr_pool_;
+  e.rx_pool = rx_pool_;
+  e.csum_offload = cfg_.csum_offload;
+  e.send_frame = [this](int ifindex, net::TxFrame&& frame,
+                        std::uint64_t cookie) {
+    sim::Context& ctx = cur();
+    charge(ctx, 150);  // descriptor packing
+    chan::RichPtr desc =
+        net::pack_chain(*hdr_pool_, frame.header, frame.payload,
+                        frame.offload);
+    if (!desc.valid()) return;  // pool exhausted: RTO recovers
+    auto old = drv_descs_.find(cookie);
+    if (old != drv_descs_.end()) {  // resubmission: replace the descriptor
+      hdr_pool_->release(old->second);
+      drv_descs_.erase(old);
+    }
+    chan::Message m;
+    m.opcode = kDrvTx;
+    m.req_id = cookie;
+    m.ptr = desc;
+    if (!send_to(driver_name(ifindex), m, ctx)) {
+      hdr_pool_->release(desc);  // driver down/full: dropped, RTO recovers
+      return;
+    }
+    drv_descs_.emplace(cookie, desc);
+  };
+  if (cfg_.use_pf) {
+    e.pf_check = [this](const net::PfQuery& q, std::uint64_t cookie) {
+      send_to(kPfName, make_pf_check(cookie, q), cur());
+      // If PF is down the query is repeated on its restart
+      // (resubmit_pf_pending); nothing is ever lost here (Section V-D).
+    };
+  }
+  e.deliver_tcp = [this](net::L4Packet&& pkt) {
+    chan::Message m;
+    m.opcode = kL4Rx;
+    m.ptr = pkt.frame;
+    m.arg0 = (static_cast<std::uint64_t>(pkt.l4_offset) << 16) |
+             pkt.l4_length;
+    m.arg1 = pack_addrs(pkt.src, pkt.dst);
+    if (!send_to(kTcpName, m, cur())) engine_->rx_done(pkt.frame);
+  };
+  e.deliver_udp = [this](net::L4Packet&& pkt) {
+    chan::Message m;
+    m.opcode = kL4Rx;
+    m.ptr = pkt.frame;
+    m.arg0 = (static_cast<std::uint64_t>(pkt.l4_offset) << 16) |
+             pkt.l4_length;
+    m.arg1 = pack_addrs(pkt.src, pkt.dst);
+    if (!send_to(kUdpName, m, cur())) engine_->rx_done(pkt.frame);
+  };
+  e.seg_done = [this](std::uint64_t l4_cookie, bool sent) {
+    auto it = l4_reqs_.find(l4_cookie);
+    if (it == l4_reqs_.end()) return;
+    chan::Message m;
+    m.opcode = kIpTxDone;
+    m.req_id = it->second.orig_id;
+    m.arg0 = sent ? 1 : 0;
+    send_to(it->second.from, m, cur());
+    l4_reqs_.erase(it);
+  };
+  engine_ = std::make_unique<net::IpEngine>(std::move(e), cfg_.ip);
+}
+
+void IpServer::start(bool restart) {
+  hdr_pool_ = env().get_pool("ip.hdr", 16u << 20);
+  rx_pool_ = env().get_pool("ip.rx", 32u << 20);
+
+  std::vector<std::string> peers = {kTcpName, kUdpName, kStoreName};
+  if (cfg_.use_pf) peers.push_back(kPfName);
+  for (int ifindex : cfg_.ifindexes) peers.push_back(driver_name(ifindex));
+  for (const auto& p : peers) {
+    expose_in_queue(p, 1024);
+    connect_out(p);
+  }
+
+  build_engine();
+
+  if (restart) {
+    // Recover the routing/interface configuration from the storage server
+    // before announcing (Table I: small static state, easy to restore).
+    post_control([this](sim::Context& ctx) {
+      chan::Message m;
+      m.opcode = kStoreGet;
+      m.arg0 = kKeyIpConfig;
+      store_get_req_ = request_db().add(kStoreName, 0, {});
+      m.req_id = store_get_req_;
+      if (!send_to(kStoreName, m, ctx)) {
+        announce(true);  // no storage: come up with compiled-in config
+      }
+    });
+  } else {
+    post_control([this](sim::Context& ctx) {
+      store_config(ctx);
+      announce(false);
+    });
+  }
+}
+
+void IpServer::store_config(sim::Context& ctx) {
+  const auto bytes = engine_->config().serialize();
+  chan::RichPtr chunk =
+      hdr_pool_->alloc(static_cast<std::uint32_t>(bytes.size()));
+  if (!chunk.valid()) return;
+  auto view = hdr_pool_->write_view(chunk);
+  std::copy(bytes.begin(), bytes.end(), view.begin());
+  chan::Message m;
+  m.opcode = kStorePut;
+  m.arg0 = kKeyIpConfig;
+  m.req_id = request_db().add(kStoreName, chunk.offset, {});
+  m.ptr = chunk;
+  if (!send_to(kStoreName, m, ctx)) hdr_pool_->release(chunk);
+}
+
+void IpServer::on_killed() {
+  engine_.reset();
+  l4_reqs_.clear();
+  drv_descs_.clear();  // in-flight descriptor chunks leak, bounded per crash
+  posted_.clear();
+}
+
+void IpServer::post_rx_buffers(int ifindex, sim::Context& ctx) {
+  int& posted = posted_[ifindex];
+  while (posted < cfg_.rx_buffers_per_nic) {
+    chan::RichPtr buf = rx_pool_->alloc(cfg_.rx_buf_size);
+    if (!buf.valid()) return;
+    chan::Message m;
+    m.opcode = kDrvRxBuf;
+    m.ptr = buf;
+    if (!send_to(driver_name(ifindex), m, ctx)) {
+      rx_pool_->release(buf);
+      return;
+    }
+    ++posted;
+  }
+}
+
+void IpServer::on_message(const std::string& from, const chan::Message& m,
+                          sim::Context& ctx) {
+  const auto& costs = sim().costs();
+  switch (m.opcode) {
+    case kIpTx: {
+      charge(ctx, costs.ip_packet_proc);
+      auto chain = net::unpack_chain(*env().pools, m.ptr);
+      if (!chain) {  // malformed request: reply failure (validate & ignore)
+        chan::Message done;
+        done.opcode = kIpTxDone;
+        done.req_id = m.req_id;
+        done.arg0 = 0;
+        send_to(from, done, ctx);
+        return;
+      }
+      net::TxSeg seg;
+      seg.l4_header = chain->header;
+      seg.payload = std::move(chain->payload);
+      seg.offload = chain->offload;
+      seg.offload.tso = seg.offload.tso && env().knobs.tso;
+      seg.src = unpack_hi(m.arg0);
+      seg.dst = unpack_lo(m.arg0);
+      seg.protocol = static_cast<std::uint8_t>(m.arg1);
+      if (!cfg_.csum_offload) {
+        charge(ctx, costs.checksum_cost(seg.total_len()));
+      }
+      const std::uint64_t id = next_l4_++;
+      l4_reqs_.emplace(id, L4Req{from, m.req_id});
+      engine_->output(std::move(seg), id);
+      return;
+    }
+    case kPfVerdict:
+      charge(ctx, 120);
+      engine_->pf_verdict(m.req_id, m.arg0 != 0);
+      return;
+    case kDrvTxDone: {
+      charge(ctx, 150);
+      auto it = drv_descs_.find(m.req_id);
+      if (it != drv_descs_.end()) {
+        hdr_pool_->release(it->second);
+        drv_descs_.erase(it);
+      }
+      engine_->tx_done(m.req_id, m.arg0 != 0);
+      return;
+    }
+    case kDrvRx: {
+      charge(ctx, costs.ip_packet_proc);
+      const int ifindex = ifindex_of(from);
+      auto it = posted_.find(ifindex);
+      if (it != posted_.end() && it->second > 0) --it->second;
+      if (!cfg_.csum_offload) charge(ctx, costs.checksum_cost(m.ptr.length));
+      engine_->input(ifindex, m.ptr);
+      post_rx_buffers(ifindex, ctx);  // keep the device fed
+      return;
+    }
+    case kDrvLink:
+      if (m.arg0 != 0) {
+        posted_[ifindex_of(from)] = 0;  // device was reset: rings are empty
+        post_rx_buffers(ifindex_of(from), ctx);
+        // Tell the transports the path healed so they retransmit promptly.
+        chan::Message up;
+        up.opcode = kDrvLink;
+        up.arg0 = 1;
+        send_to(kTcpName, up, ctx);
+        send_to(kUdpName, up, ctx);
+      }
+      return;
+    case kL4RxDone:
+      charge(ctx, 80);
+      engine_->rx_done(m.ptr);
+      return;
+    case kStoreAck: {
+      std::uint64_t chunk_off = 0;
+      if (request_db().complete(m.req_id, &chunk_off)) {
+        // Our config snapshot was copied by the storage server; free it.
+        hdr_pool_->release(m.ptr);
+      }
+      return;
+    }
+    case kStoreReply: {
+      if (!request_db().complete(m.req_id)) return;
+      if (m.arg0 != 0) {
+        auto bytes = env().pools->read(m.ptr);
+        auto cfg = net::IpConfig::parse(bytes);
+        if (cfg) engine_->set_config(std::move(*cfg));
+        chan::Message rel;
+        rel.opcode = kStoreRelease;
+        rel.ptr = m.ptr;
+        send_to(kStoreName, rel, ctx);
+      }
+      announce(true);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void IpServer::on_peer_up(const std::string& peer, bool restarted,
+                          sim::Context& ctx) {
+  if (peer.rfind("drv", 0) == 0) {
+    const int ifindex = ifindex_of(peer);
+    if (restarted) {
+      // The device was reset: everything in its rings is gone.  Prefer
+      // duplicates over losses (Section V-D): resubmit pending frames.
+      posted_[ifindex] = 0;
+      if (engine_) engine_->resubmit_tx(ifindex);
+    }
+    post_rx_buffers(ifindex, ctx);
+    return;
+  }
+  if (peer == kPfName && restarted && engine_) {
+    // PF lost our unanswered queries; repeat them — no packet loss across a
+    // PF restart (Section V-D, Figure 5).
+    engine_->resubmit_pf_pending();
+    return;
+  }
+  if (peer == kStoreName && restarted && engine_) {
+    // Storage came back empty: every server must store its state again.
+    store_config(ctx);
+    return;
+  }
+}
+
+}  // namespace newtos::servers

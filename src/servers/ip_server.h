@@ -1,0 +1,65 @@
+// The IP server: hosts the IP/ICMP/ARP engine, owns the header and receive
+// pools, talks to every driver, consults the packet filter for each packet
+// and completes transport TX requests (Figure 3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/ip.h"
+#include "src/servers/proto.h"
+#include "src/servers/server.h"
+
+namespace newtos::servers {
+
+class IpServer : public Server {
+ public:
+  struct Config {
+    net::IpConfig ip;
+    std::vector<int> ifindexes;
+    bool use_pf = true;
+    bool csum_offload = true;
+    int rx_buffers_per_nic = 96;
+    std::uint32_t rx_buf_size = 2048;
+  };
+
+  IpServer(NodeEnv* env, sim::SimCore* core, Config cfg);
+
+  net::IpEngine* engine() { return engine_.get(); }
+
+ protected:
+  void start(bool restart) override;
+  void on_message(const std::string& from, const chan::Message& m,
+                  sim::Context& ctx) override;
+  void on_peer_up(const std::string& peer, bool restarted,
+                  sim::Context& ctx) override;
+  void on_killed() override;
+
+ private:
+  void build_engine();
+  void store_config(sim::Context& ctx);
+  void post_rx_buffers(int ifindex, sim::Context& ctx);
+  static int ifindex_of(const std::string& driver);
+
+  Config cfg_;
+  std::unique_ptr<net::IpEngine> engine_;
+  chan::Pool* hdr_pool_ = nullptr;
+  chan::Pool* rx_pool_ = nullptr;
+
+  struct L4Req {
+    std::string from;
+    std::uint64_t orig_id = 0;
+  };
+  std::unordered_map<std::uint64_t, L4Req> l4_reqs_;
+  std::uint64_t next_l4_ = 1;
+  // Frame-chain descriptors we packed for drivers, freed on completion.
+  std::unordered_map<std::uint64_t, chan::RichPtr> drv_descs_;
+  std::map<int, int> posted_;  // rx buffers outstanding per ifindex
+  std::uint64_t store_get_req_ = 0;
+};
+
+}  // namespace newtos::servers

@@ -1,0 +1,134 @@
+#include "src/servers/pf_server.h"
+
+#include <cstring>
+
+namespace newtos::servers {
+
+PfServer::PfServer(NodeEnv* env, sim::SimCore* core,
+                   std::vector<net::PfRule> rules)
+    : Server(env, kPfName, core), initial_rules_(std::move(rules)) {}
+
+void PfServer::start(bool restart) {
+  pool_ = env().get_pool("pf.buf", 2u << 20);
+  for (const char* p : {kIpName, kStoreName, kTcpName, kUdpName}) {
+    expose_in_queue(p, 1024);
+    connect_out(p);
+  }
+  engine_ = std::make_unique<net::PfEngine>(clock());
+  if (restart) {
+    post_control([this](sim::Context& ctx) {
+      chan::Message m;
+      m.opcode = kStoreGet;
+      m.arg0 = kKeyPfRules;
+      m.req_id = request_db().add(kStoreName, 0, {});
+      if (!send_to(kStoreName, m, ctx)) {
+        engine_->set_rules(initial_rules_);
+        announce(true);
+      }
+    });
+  } else {
+    engine_->set_rules(initial_rules_);
+    post_control([this](sim::Context& ctx) {
+      save_rules(ctx);
+      announce(false);
+    });
+  }
+}
+
+void PfServer::on_killed() { engine_.reset(); }
+
+void PfServer::save_rules(sim::Context& ctx) {
+  const auto bytes = net::PfEngine::serialize_rules(engine_->rules());
+  chan::RichPtr chunk =
+      pool_->alloc(static_cast<std::uint32_t>(bytes.size()));
+  if (!chunk.valid()) return;
+  auto view = pool_->write_view(chunk);
+  std::copy(bytes.begin(), bytes.end(), view.begin());
+  chan::Message m;
+  m.opcode = kStorePut;
+  m.arg0 = kKeyPfRules;
+  m.req_id = request_db().add(kStoreName, 0, {});
+  m.ptr = chunk;
+  if (!send_to(kStoreName, m, ctx)) pool_->release(chunk);
+}
+
+void PfServer::request_conn_lists(sim::Context& ctx) {
+  // Rebuild the connection table from the transports (Section V-D).
+  for (const char* peer : {kTcpName, kUdpName}) {
+    chan::Message m;
+    m.opcode = kConnList;
+    m.req_id = request_db().add(peer, 0, {});
+    send_to(peer, m, ctx);
+  }
+}
+
+void PfServer::on_message(const std::string& from, const chan::Message& m,
+                          sim::Context& ctx) {
+  switch (m.opcode) {
+    case kPfCheck: {
+      const net::PfQuery q = parse_pf_check(m);
+      const auto verdict = engine_->check(q);
+      charge(ctx, sim().costs().pf_packet_proc +
+                      verdict.rules_walked * sim().costs().pf_rule_cost);
+      chan::Message r;
+      r.opcode = kPfVerdict;
+      r.req_id = m.req_id;
+      r.arg0 = verdict.action == net::PfAction::Pass ? 1 : 0;
+      send_to(kIpName, r, ctx);
+      return;
+    }
+    case kConnListReply: {
+      request_db().complete(m.req_id);
+      if (m.ptr.valid()) {
+        auto bytes = env().pools->read(m.ptr);
+        if (bytes.size() >= 4) {
+          std::uint32_t n;
+          std::memcpy(&n, bytes.data(), 4);
+          if (bytes.size() >= 4 + n * sizeof(net::PfStateKey)) {
+            std::vector<net::PfStateKey> keys(n);
+            if (n > 0)
+              std::memcpy(keys.data(), bytes.data() + 4,
+                          n * sizeof(net::PfStateKey));
+            engine_->restore_states(keys);
+          }
+        }
+        chan::Message rel;
+        rel.opcode = kStoreRelease;
+        rel.ptr = m.ptr;
+        send_to(from, rel, ctx);
+      }
+      return;
+    }
+    case kStoreAck:
+      request_db().complete(m.req_id);
+      return;
+    case kStoreReply: {
+      if (!request_db().complete(m.req_id)) return;
+      bool restored = false;
+      if (m.arg0 != 0) {
+        auto rules = net::PfEngine::parse_rules(env().pools->read(m.ptr));
+        if (rules) {
+          engine_->set_rules(std::move(*rules));
+          restored = true;
+        }
+        chan::Message rel;
+        rel.opcode = kStoreRelease;
+        rel.ptr = m.ptr;
+        send_to(kStoreName, rel, ctx);
+      }
+      if (!restored) engine_->set_rules(initial_rules_);
+      announce(true);
+      request_conn_lists(ctx);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void PfServer::on_peer_up(const std::string& peer, bool restarted,
+                          sim::Context& ctx) {
+  if (peer == kStoreName && restarted) save_rules(ctx);
+}
+
+}  // namespace newtos::servers

@@ -1,0 +1,42 @@
+// The packet filter server: sits in a T junction off IP (Figure 3) and
+// answers pass/block queries.  Its static state (the rule set) is stored in
+// the storage server; its dynamic state (the connection table) is rebuilt
+// after a crash by querying the TCP and UDP servers (Section V-D) — so a
+// firewall that blocks inbound traffic does not cut established outgoing
+// connections after a restart.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/net/pf.h"
+#include "src/servers/proto.h"
+#include "src/servers/server.h"
+
+namespace newtos::servers {
+
+class PfServer : public Server {
+ public:
+  PfServer(NodeEnv* env, sim::SimCore* core, std::vector<net::PfRule> rules);
+
+  net::PfEngine* engine() { return engine_.get(); }
+
+ protected:
+  void start(bool restart) override;
+  void on_message(const std::string& from, const chan::Message& m,
+                  sim::Context& ctx) override;
+  void on_peer_up(const std::string& peer, bool restarted,
+                  sim::Context& ctx) override;
+  void on_killed() override;
+
+ private:
+  void save_rules(sim::Context& ctx);
+  void request_conn_lists(sim::Context& ctx);
+
+  std::vector<net::PfRule> initial_rules_;
+  std::unique_ptr<net::PfEngine> engine_;
+  chan::Pool* pool_ = nullptr;
+};
+
+}  // namespace newtos::servers

@@ -1,0 +1,128 @@
+// Channel protocol spoken between the stack's servers.
+//
+// Every message is one 64-byte slot (src/chan/message.h); bulk data is
+// referenced through rich pointers into shared pools.  The flows mirror
+// Figure 3 of the paper:
+//
+//   app/SYSCALL -> TCP/UDP : socket control (open/bind/send/...)
+//   TCP/UDP -> IP          : kIpTx (packed chain) / kIpTxDone back
+//   IP <-> PF              : kPfCheck / kPfVerdict
+//   IP <-> DRV             : kDrvTx(+Done), kDrvRx, kDrvRxBuf, kDrvLink
+//   IP -> TCP/UDP          : kL4Rx / kL4RxDone back (receive-pool frees)
+//   * <-> STORE            : kStorePut/Get/Reply/Release (state recovery)
+//   PF -> TCP/UDP          : kConnList / kConnListReply (state rebuild)
+#pragma once
+
+#include <cstdint>
+
+#include "src/chan/message.h"
+#include "src/net/addr.h"
+#include "src/net/pf.h"
+
+namespace newtos::servers {
+
+enum Opcode : std::uint16_t {
+  kNop = 0,
+
+  // --- transport -> IP ---------------------------------------------------------
+  kIpTx = 10,     // ptr=packed chain; req_id=l4 cookie; arg0=src<<32|dst;
+                  // arg1=protocol
+  kIpTxDone,      // req_id=l4 cookie; arg0=sent(0/1)
+
+  // --- IP -> transport ---------------------------------------------------------
+  kL4Rx = 20,     // ptr=frame; arg0=l4_offset<<16|l4_length; arg1=src<<32|dst
+  kL4RxDone,      // ptr=frame (release into IP's receive pool)
+
+  // --- IP <-> PF -----------------------------------------------------------------
+  kPfCheck = 30,  // req_id=cookie; arg0=src<<32|dst; arg1=sport<<32|dport;
+                  // arg2=dir<<16|proto<<8|tcp_flags
+  kPfVerdict,     // req_id=cookie; arg0=allow(0/1)
+
+  // --- IP <-> drivers -------------------------------------------------------------
+  kDrvTx = 40,    // ptr=packed chain; req_id=cookie
+  kDrvTxDone,     // req_id=cookie; arg0=ok(0/1)
+  kDrvRx,         // ptr=received frame (length = frame length)
+  kDrvRxBuf,      // ptr=fresh receive buffer for the device
+  kDrvLink,       // arg0=up(0/1)
+
+  // --- socket control (apps / SYSCALL -> transports) --------------------------------
+  kSockOpen = 60,   // arg0=reply tag
+  kSockBind,        // socket; arg0=addr; arg1=port
+  kSockListen,      // socket; arg0=backlog
+  kSockConnect,     // socket; arg0=addr; arg1=port
+  kSockSend,        // socket; ptr=payload chunk (transport-owned pool)
+  kSockSendTo,      // socket; ptr=payload; arg0=addr; arg1=port  (UDP)
+  kSockClose,       // socket
+  kSockReply,       // req_id matches request; arg0=status/value
+  kSockEvent,       // socket; arg0=TcpEvent
+
+  // --- PF state rebuild ---------------------------------------------------------------
+  kConnList = 80,     // req_id
+  kConnListReply,     // req_id; ptr=array of PfStateKey records
+
+  // --- storage ---------------------------------------------------------------------------
+  kStorePut = 90,  // arg0=key id; ptr=value bytes (requester pool)
+  kStoreAck,       // req_id
+  kStoreGet,       // arg0=key id
+  kStoreReply,     // req_id; arg0=found(0/1); ptr=value (storage pool)
+  kStoreRelease,   // ptr=chunk in storage pool to free
+};
+
+// Storage key ids, namespaced per requesting server by the storage server.
+enum StoreKey : std::uint32_t {
+  kKeyIpConfig = 1,
+  kKeyUdpSockets = 2,
+  kKeyTcpListeners = 3,
+  kKeyPfRules = 4,
+};
+
+// --- small encode/decode helpers ---------------------------------------------------
+
+inline std::uint64_t pack_addrs(net::Ipv4Addr a, net::Ipv4Addr b) {
+  return (static_cast<std::uint64_t>(a.value) << 32) | b.value;
+}
+inline net::Ipv4Addr unpack_hi(std::uint64_t v) {
+  return net::Ipv4Addr{static_cast<std::uint32_t>(v >> 32)};
+}
+inline net::Ipv4Addr unpack_lo(std::uint64_t v) {
+  return net::Ipv4Addr{static_cast<std::uint32_t>(v)};
+}
+
+inline chan::Message make_pf_check(std::uint64_t cookie,
+                                   const net::PfQuery& q) {
+  chan::Message m;
+  m.opcode = kPfCheck;
+  m.req_id = cookie;
+  m.arg0 = pack_addrs(q.src, q.dst);
+  m.arg1 = (static_cast<std::uint64_t>(q.sport) << 32) | q.dport;
+  m.arg2 = (static_cast<std::uint64_t>(static_cast<std::uint8_t>(q.dir))
+            << 16) |
+           (static_cast<std::uint64_t>(q.protocol) << 8) | q.tcp_flags;
+  return m;
+}
+
+inline net::PfQuery parse_pf_check(const chan::Message& m) {
+  net::PfQuery q;
+  q.src = unpack_hi(m.arg0);
+  q.dst = unpack_lo(m.arg0);
+  q.sport = static_cast<std::uint16_t>(m.arg1 >> 32);
+  q.dport = static_cast<std::uint16_t>(m.arg1);
+  q.dir = static_cast<net::PfDir>((m.arg2 >> 16) & 0xff);
+  q.protocol = static_cast<std::uint8_t>((m.arg2 >> 8) & 0xff);
+  q.tcp_flags = static_cast<std::uint8_t>(m.arg2 & 0xff);
+  return q;
+}
+
+// Well-known server names.
+inline constexpr const char* kTcpName = "tcp";
+inline constexpr const char* kUdpName = "udp";
+inline constexpr const char* kIpName = "ip";
+inline constexpr const char* kPfName = "pf";
+inline constexpr const char* kStoreName = "store";
+inline constexpr const char* kSyscallName = "syscall";
+inline constexpr const char* kStackName = "stack";  // combined single server
+inline const std::string driver_name(int ifindex) {
+  return "drv" + std::to_string(ifindex);
+}
+
+}  // namespace newtos::servers

@@ -1,0 +1,75 @@
+#include "src/servers/reincarnation.h"
+
+namespace newtos::servers {
+
+ReincarnationServer::ReincarnationServer(NodeEnv* env, sim::SimCore* core)
+    : ReincarnationServer(env, core, Config{}) {}
+
+ReincarnationServer::ReincarnationServer(NodeEnv* env, sim::SimCore* core,
+                                         Config cfg)
+    : Server(env, "rs", core), cfg_(cfg) {}
+
+void ReincarnationServer::manage(Server* child) {
+  children_.push_back(Child{child, 0, false});
+  stats_.emplace(child->name(), ChildStats{});
+}
+
+void ReincarnationServer::start(bool restart) {
+  announce(restart);
+  timers()->schedule(cfg_.heartbeat_interval, [this] { tick(); });
+}
+
+void ReincarnationServer::on_message(const std::string&, const chan::Message&,
+                                     sim::Context&) {}
+
+void ReincarnationServer::tick() {
+  for (auto& child : children_) {
+    if (child.restart_pending || !child.server->alive()) continue;
+    if (child.missed >= cfg_.max_missed_beats) {
+      // Unresponsive: reset it (Section V-D: "...resets it when it stops
+      // responding to periodic heartbeats").
+      ++stats_[child.server->name()].hang_resets;
+      child.missed = 0;
+      child.server->kill();  // triggers child_crashed via report_crash
+      continue;
+    }
+    ++child.missed;
+    Server* s = child.server;
+    s->post_heartbeat([this, s] {
+      for (auto& c : children_) {
+        if (c.server == s) c.missed = 0;
+      }
+    });
+  }
+  timers()->schedule(cfg_.heartbeat_interval, [this] { tick(); });
+}
+
+void ReincarnationServer::child_crashed(Server* child) {
+  ++stats_[child->name()].crashes;
+  schedule_restart(child);
+}
+
+void ReincarnationServer::schedule_restart(Server* child) {
+  for (auto& c : children_) {
+    if (c.server != child || c.restart_pending) continue;
+    c.restart_pending = true;
+    sim().after(cfg_.restart_delay, [this, child] {
+      for (auto& c2 : children_) {
+        if (c2.server == child) {
+          c2.restart_pending = false;
+          c2.missed = 0;
+        }
+      }
+      ++stats_[child->name()].restarts;
+      child->boot(/*restart=*/true);
+    });
+  }
+}
+
+std::uint64_t ReincarnationServer::total_restarts() const {
+  std::uint64_t n = 0;
+  for (const auto& [name, s] : stats_) n += s.restarts;
+  return n;
+}
+
+}  // namespace newtos::servers

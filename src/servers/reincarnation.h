@@ -1,0 +1,66 @@
+// The reincarnation server: parent of all system servers (Section V-D).
+//
+// It receives a "signal" when a child crashes and resets children that stop
+// responding to periodic heartbeats; either way the child is restarted
+// after a short exec+init delay, in restart mode, so it knows to recover its
+// state from the storage server.  Faults are never injected into the
+// reincarnation server itself (as in the paper).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/servers/server.h"
+
+namespace newtos::servers {
+
+class ReincarnationServer : public Server {
+ public:
+  struct Config {
+    sim::Time heartbeat_interval = 50 * sim::kMillisecond;
+    int max_missed_beats = 2;
+    sim::Time restart_delay = 5 * sim::kMillisecond;  // exec + init
+  };
+
+  ReincarnationServer(NodeEnv* env, sim::SimCore* core);
+  ReincarnationServer(NodeEnv* env, sim::SimCore* core, Config cfg);
+
+  // Registers a child.  Children are booted by the node; we only restart.
+  void manage(Server* child);
+
+  // Crash signal (wired to NodeEnv::report_crash by the node).
+  void child_crashed(Server* child);
+
+  struct ChildStats {
+    std::uint64_t crashes = 0;
+    std::uint64_t hang_resets = 0;
+    std::uint64_t restarts = 0;
+  };
+  const std::map<std::string, ChildStats>& child_stats() const {
+    return stats_;
+  }
+  std::uint64_t total_restarts() const;
+
+ protected:
+  void start(bool restart) override;
+  void on_message(const std::string&, const chan::Message&,
+                  sim::Context&) override;
+
+ private:
+  struct Child {
+    Server* server = nullptr;
+    int missed = 0;
+    bool restart_pending = false;
+  };
+
+  void tick();
+  void schedule_restart(Server* child);
+
+  Config cfg_;
+  std::vector<Child> children_;
+  std::map<std::string, ChildStats> stats_;
+};
+
+}  // namespace newtos::servers

@@ -1,0 +1,261 @@
+// Server: the base class for every OS component in NewtOS.
+//
+// A server is a single-threaded, event-driven, unprivileged process pinned
+// to a dedicated core (Section III).  It consumes messages from SPSC channel
+// queues, never blocks, and when all queues run dry it arms the doorbells
+// and halts its core with kernel-assisted MWAIT (Section IV-B); the next
+// producer write wakes it, which costs CostModel::mwait_wakeup.
+//
+// The base class also implements the crash/restart machinery of
+// Section IV-D: queues are published/attached through the registry and the
+// channel manager, peers learn about deaths and rebirths through
+// publish/subscribe, and subclasses hook on_peer_up/on_peer_down to run
+// their request-database abort actions and resubmission policies.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chan/channel.h"
+#include "src/chan/pool.h"
+#include "src/chan/registry.h"
+#include "src/chan/request_db.h"
+#include "src/kipc/kipc.h"
+#include "src/net/env.h"
+#include "src/sim/sim.h"
+
+namespace newtos::servers {
+
+class Server;
+
+// How messages between OS components travel (Table II line 1 vs the rest).
+enum class IpcMode {
+  kChannels,    // user-space shared-memory channels, no kernel
+  kKernelSync,  // classic MINIX 3: trap + copy + context switch per message
+};
+
+// Per-node knobs the servers consult while charging costs.
+struct RuntimeKnobs {
+  IpcMode ipc = IpcMode::kChannels;
+  bool tso = false;
+  bool csum_offload = true;
+  double cost_scale = 1.0;  // scales protocol-processing costs (ideal peer)
+  // Extra per-packet path length of the legacy MINIX stack (Table II line 1).
+  sim::Cycles legacy_per_packet = 0;
+  std::uint32_t app_write_size = 8192;
+};
+
+// Everything a server needs from its node; filled in by core/node.cc.
+struct NodeEnv {
+  sim::Simulator* sim = nullptr;
+  chan::PoolRegistry* pools = nullptr;
+  chan::Registry* registry = nullptr;
+  chan::ChannelManager* channels = nullptr;
+  kipc::KernelIpc* kernel = nullptr;
+  RuntimeKnobs knobs;
+  std::string node_name;
+  // Queue directory: queues survive server restarts (a new incarnation
+  // inherits the address space, Section IV-D).
+  std::function<chan::Queue*(const std::string& name, std::size_t cap)>
+      get_queue;
+  // Pool directory.  Pools persist across their owner's restarts: the paper
+  // keeps old receive pools alive until drained (Section V-D); chunks that
+  // were in flight when their owner died are leaked, bounded per crash.
+  std::function<chan::Pool*(const std::string& name, std::size_t size)>
+      get_pool;
+  // Crash signal to the reincarnation server (the parent of all servers).
+  std::function<void(Server*)> report_crash;
+  // Socket events (readable/connected/reset/...) routed to the owning
+  // application actor; the data path bypasses the SYSCALL server
+  // (Section V-B).
+  std::function<void(char proto, std::uint32_t sock, std::uint8_t event)>
+      sock_event;
+};
+
+class Server {
+ public:
+  Server(NodeEnv* env, std::string name, sim::SimCore* core);
+  virtual ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  const std::string& name() const { return name_; }
+  sim::SimCore& core() { return *core_; }
+  NodeEnv& env() { return *env_; }
+  sim::Simulator& sim() { return *env_->sim; }
+
+  // --- lifecycle (driven by the node / reincarnation server) ---------------------
+  // First boot or post-crash restart.  Calls start(restart).
+  void boot(bool restart);
+  // Kills the server: engine state is lost, publications withdrawn, queues
+  // reset.  `silent` hangs instead of crashing: the process stops consuming
+  // but nobody is signalled — only heartbeat timeouts catch it.
+  void kill();
+  void hang();
+  // Degraded-operation faults (Table IV's "slowdown, no crash" cases).
+  void set_slowdown(double factor) { slowdown_ = factor; }
+  // Silent wedge: the process keeps answering heartbeats but drops its real
+  // work — the fault class the reincarnation server cannot detect, needing
+  // the paper's "manually restarting ... solved the problem".
+  void set_drop_work(bool v) { drop_work_ = v; }
+  bool drop_work() const { return drop_work_; }
+
+  bool alive() const { return alive_; }
+  bool hung() const { return hung_; }
+  bool ready() const { return alive_ && !hung_ && announced_; }
+  std::uint32_t incarnation() const { return incarnation_; }
+
+  // Heartbeat from the reincarnation server (kernel notify).  The ack
+  // callback runs only if the server is actually processing events.
+  void post_heartbeat(std::function<void()> ack);
+
+  // Inject a kernel-IPC message (app syscalls, interrupts).  Charged as a
+  // trap + receive on this server's core.
+  void post_kernel_msg(std::function<void(sim::Context&)> fn,
+                       sim::Cycles extra_cost = 0);
+  // Cheap internal control event (library fast path, timer callbacks).
+  void post_control(std::function<void(sim::Context&)> fn,
+                    sim::Cycles cost = 50);
+
+  // Statistics.
+  std::uint64_t messages_handled() const { return messages_handled_; }
+  std::uint64_t wakeups() const { return wakeups_; }
+
+  // The context of the handler currently executing on this server's core.
+  // Engine callbacks (which have no context parameter) charge through this.
+  sim::Context& cur() {
+    assert(current_ctx_ != nullptr && "engine callback outside a handler");
+    return *current_ctx_;
+  }
+
+  // Socket-buffer fast path (Section V-B): the application's C library
+  // manipulates the exported socket buffers directly, so engine calls made
+  // from an application actor charge the application's own context.  RAII
+  // guard installing that context for the duration of the call.
+  class BorrowContext {
+   public:
+    BorrowContext(Server& s, sim::Context& ctx)
+        : s_(s), prev_(s.current_ctx_) {
+      s_.current_ctx_ = &ctx;
+    }
+    ~BorrowContext() { s_.current_ctx_ = prev_; }
+    BorrowContext(const BorrowContext&) = delete;
+    BorrowContext& operator=(const BorrowContext&) = delete;
+
+   private:
+    Server& s_;
+    sim::Context* prev_;
+  };
+
+ protected:
+  // --- subclass interface ----------------------------------------------------------
+  virtual void start(bool restart) = 0;
+  virtual void on_message(const std::string& from, const chan::Message& m,
+                          sim::Context& ctx) = 0;
+  virtual void on_peer_up(const std::string& peer, bool restarted,
+                          sim::Context& ctx);
+  virtual void on_peer_down(const std::string& peer, sim::Context& ctx);
+  // Release engine state on death (before a restart re-creates it).
+  virtual void on_killed() {}
+
+  // --- channel plumbing --------------------------------------------------------------
+  // Creates/resets the queue `from` -> me, exports it to `from` and
+  // publishes the credential under "chan.<from>><me>".
+  chan::Queue* expose_in_queue(const std::string& from,
+                               std::size_t capacity = 256);
+  // Subscribes to the peer's published queue me -> peer and to its
+  // up/down announcements.
+  void connect_out(const std::string& peer);
+  // Sends on the out-queue to `peer`; charges channel or kernel-IPC costs
+  // per the node's IpcMode.  Returns false when the queue is full or the
+  // peer is down (callers apply their drop/defer policy).
+  bool send_to(const std::string& peer, const chan::Message& m,
+               sim::Context& ctx);
+  bool peer_ready(const std::string& peer) const;
+
+  // Declares this server announced ("server.<name>.up" published).  Called
+  // by subclasses when their state is restored and they are open for
+  // business (possibly asynchronously, after talking to the storage server).
+  void announce(bool restarted);
+
+  // Charges `c` cycles scaled by the node's cost_scale and the fault
+  // slowdown factor.
+  void charge(sim::Context& ctx, sim::Cycles c) const;
+
+  // Engine adapters.
+  net::Clock* clock() { return &clock_adapter_; }
+  net::TimerService* timers() { return &timer_adapter_; }
+
+  chan::RequestDb& request_db() { return rdb_; }
+
+ private:
+  struct OutPeer {
+    chan::Queue* queue = nullptr;
+    bool up = false;
+  };
+
+  class ClockAdapter : public net::Clock {
+   public:
+    explicit ClockAdapter(Server* s) : s_(s) {}
+    sim::Time now() const override;
+
+   private:
+    Server* s_;
+  };
+  class TimerAdapter : public net::TimerService {
+   public:
+    explicit TimerAdapter(Server* s) : s_(s) {}
+    TimerId schedule(sim::Time delay, std::function<void()> fn) override;
+    void cancel(TimerId id) override;
+
+   private:
+    Server* s_;
+  };
+
+  void wake();
+  void pump(sim::Context& ctx);
+  void enter_idle(sim::Context& ctx);
+
+  NodeEnv* env_;
+  std::string name_;
+  sim::SimCore* core_;
+
+  bool alive_ = false;
+  bool hung_ = false;
+  bool announced_ = false;
+  bool pump_scheduled_ = false;
+  bool sleeping_ = true;
+  bool drop_work_ = false;
+  double slowdown_ = 1.0;
+  std::uint32_t incarnation_ = 0;
+
+  struct InQueue {
+    std::string from;
+    chan::Queue* queue = nullptr;
+  };
+  std::vector<InQueue> in_queues_;
+  std::map<std::string, OutPeer> outs_;
+  std::vector<chan::Registry::SubId> subs_;
+  std::vector<std::string> published_keys_;
+  std::deque<std::pair<std::function<void(sim::Context&)>, sim::Cycles>>
+      control_;
+  chan::RequestDb rdb_;
+
+  ClockAdapter clock_adapter_{this};
+  TimerAdapter timer_adapter_{this};
+  sim::Context* current_ctx_ = nullptr;
+
+  std::uint64_t messages_handled_ = 0;
+  std::uint64_t wakeups_ = 0;
+
+  static constexpr int kBatch = 16;
+};
+
+}  // namespace newtos::servers

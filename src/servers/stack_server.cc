@@ -1,0 +1,484 @@
+#include "src/servers/stack_server.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/net/pbuf.h"
+
+namespace newtos::servers {
+
+StackServer::StackServer(NodeEnv* env, sim::SimCore* core, Config cfg,
+                         std::vector<drv::SimNic*> nics)
+    : Server(env, kStackName, core),
+      cfg_(std::move(cfg)),
+      nics_(std::move(nics)) {}
+
+int StackServer::ifindex_of(const std::string& driver) {
+  return std::atoi(driver.c_str() + 3);
+}
+
+drv::SimNic* StackServer::nic_of(int ifindex) {
+  for (std::size_t i = 0; i < cfg_.ifindexes.size(); ++i) {
+    if (cfg_.ifindexes[i] == ifindex && i < nics_.size()) return nics_[i];
+  }
+  return nullptr;
+}
+
+void StackServer::build_engines() {
+  const auto& costs = sim().costs();
+
+  if (cfg_.use_pf) pf_ = std::make_unique<net::PfEngine>(clock());
+  if (pf_) pf_->set_rules(cfg_.rules);
+
+  net::IpEngine::Env ie;
+  ie.clock = clock();
+  ie.timers = timers();
+  ie.pools = env().pools;
+  ie.hdr_pool = pool_;
+  ie.rx_pool = rx_pool_;
+  ie.csum_offload = cfg_.csum_offload;
+  ie.send_frame = [this](int ifindex, net::TxFrame&& frame,
+                         std::uint64_t cookie) {
+    sim::Context& ctx = cur();
+    charge(ctx, sim().costs().drv_packet_proc / 4);  // ring doorbell etc.
+    if (cfg_.inline_drivers) {
+      drv::SimNic* nic = nic_of(ifindex);
+      if (nic == nullptr) return;
+      auto& backlog = tx_backlog_[ifindex];
+      if (!backlog.empty() || nic->tx_ring_free() == 0) {
+        if (backlog.size() >= 2048) {
+          ip_->tx_done(cookie, false);  // shed load, never block
+          return;
+        }
+        backlog.emplace_back(std::move(frame), cookie);
+        return;
+      }
+      nic->tx_post(std::move(frame), cookie);
+      return;
+    }
+    chan::RichPtr desc =
+        net::pack_chain(*pool_, frame.header, frame.payload, frame.offload);
+    if (!desc.valid()) return;
+    auto old = drv_descs_.find(cookie);
+    if (old != drv_descs_.end()) {
+      pool_->release(old->second);
+      drv_descs_.erase(old);
+    }
+    chan::Message m;
+    m.opcode = kDrvTx;
+    m.req_id = cookie;
+    m.ptr = desc;
+    if (!send_to(driver_name(ifindex), m, ctx)) {
+      pool_->release(desc);
+      return;
+    }
+    drv_descs_.emplace(cookie, desc);
+  };
+  if (pf_) {
+    // In-process packet filter: immediate verdict, no hop.
+    ie.pf_check = [this, &costs](const net::PfQuery& q,
+                                 std::uint64_t cookie) {
+      const auto verdict = pf_->check(q);
+      charge(cur(), costs.pf_packet_proc +
+                        verdict.rules_walked * costs.pf_rule_cost);
+      ip_->pf_verdict(cookie, verdict.action == net::PfAction::Pass);
+    };
+  }
+  ie.deliver_tcp = [this, &costs](net::L4Packet&& pkt) {
+    charge(cur(), pkt.l4_length > net::kTcpHeaderLen ? costs.tcp_segment_proc
+                                                     : costs.tcp_ack_proc);
+    charge(cur(), env().knobs.legacy_per_packet);
+    tcp_->input(std::move(pkt));
+  };
+  ie.deliver_udp = [this, &costs](net::L4Packet&& pkt) {
+    charge(cur(), costs.udp_packet_proc);
+    charge(cur(), env().knobs.legacy_per_packet);
+    udp_->input(std::move(pkt));
+  };
+  ie.seg_done = [this](std::uint64_t l4_cookie, bool sent) {
+    if (l4_cookie & kUdpTag) {
+      udp_->seg_done(l4_cookie & ~kUdpTag, sent);
+    } else {
+      tcp_->seg_done(l4_cookie, sent);
+    }
+  };
+  ip_ = std::make_unique<net::IpEngine>(std::move(ie), cfg_.ip);
+
+  auto src_for = [this](net::Ipv4Addr dst) {
+    for (const auto& i : cfg_.ip.interfaces) {
+      if (i.subnet.contains(dst)) return i.addr;
+    }
+    return cfg_.ip.interfaces.empty() ? net::Ipv4Addr{}
+                                      : cfg_.ip.interfaces.front().addr;
+  };
+
+  net::TcpEngine::Env te;
+  te.clock = clock();
+  te.timers = timers();
+  te.pools = env().pools;
+  te.buf_pool = pool_;
+  te.src_for = src_for;
+  te.output = [this, &costs](net::TxSeg&& seg, std::uint64_t cookie) {
+    charge(cur(), costs.tcp_segment_proc + costs.ip_packet_proc +
+                      env().knobs.legacy_per_packet);
+    if (!cfg_.csum_offload) charge(cur(), costs.checksum_cost(seg.total_len()));
+    net::TxSeg s = std::move(seg);
+    s.offload.tso = s.offload.tso && env().knobs.tso;
+    ip_->output(std::move(s), cookie);
+  };
+  te.rx_done = [this](const chan::RichPtr& frame) { ip_->rx_done(frame); };
+  te.notify = [this](net::SockId s, net::TcpEvent ev) {
+    if (env().sock_event)
+      env().sock_event('T', s, static_cast<std::uint8_t>(ev));
+  };
+  tcp_ = std::make_unique<net::TcpEngine>(std::move(te), cfg_.tcp);
+
+  net::UdpEngine::Env ue;
+  ue.clock = clock();
+  ue.pools = env().pools;
+  ue.buf_pool = pool_;
+  ue.src_for = src_for;
+  ue.output = [this, &costs](net::TxSeg&& seg, std::uint64_t cookie) {
+    charge(cur(), costs.ip_packet_proc + env().knobs.legacy_per_packet);
+    if (!cfg_.csum_offload) charge(cur(), costs.checksum_cost(seg.total_len()));
+    ip_->output(std::move(seg), cookie | kUdpTag);
+  };
+  ue.rx_done = [this](const chan::RichPtr& frame) { ip_->rx_done(frame); };
+  ue.notify_readable = [this](net::SockId s) {
+    if (env().sock_event) env().sock_event('U', s, 0);
+  };
+  udp_ = std::make_unique<net::UdpEngine>(std::move(ue));
+}
+
+void StackServer::install_inline_nic_handlers() {
+  const std::uint32_t inc = incarnation();
+  for (std::size_t i = 0; i < nics_.size(); ++i) {
+    drv::SimNic* nic = nics_[i];
+    const int ifindex = cfg_.ifindexes[i];
+    nic->set_tx_done([this, inc, nic, ifindex](std::uint64_t cookie,
+                                                bool ok) {
+      if (incarnation() != inc) return;
+      post_control(
+          [this, cookie, ok, nic, ifindex](sim::Context&) {
+            auto& backlog = tx_backlog_[ifindex];
+            while (!backlog.empty() && nic->tx_ring_free() > 0) {
+              auto [frame, pending_cookie] = std::move(backlog.front());
+              backlog.pop_front();
+              nic->tx_post(std::move(frame), pending_cookie);
+            }
+            if (ip_) ip_->tx_done(cookie, ok);
+          },
+          100);
+    });
+    nic->set_rx([this, inc, ifindex](chan::RichPtr buf, std::uint32_t len) {
+      if (incarnation() != inc) return;
+      post_control(
+          [this, ifindex, buf, len](sim::Context& ctx) {
+            charge(ctx, sim().costs().drv_packet_proc +
+                            sim().costs().ip_packet_proc);
+            if (ip_ == nullptr) return;
+            chan::RichPtr frame = buf;
+            frame.length = len;
+            int& posted = posted_[ifindex];
+            if (posted > 0) --posted;
+            ip_->input(ifindex, frame);
+            post_rx_buffers(ifindex, ctx);
+          },
+          100);
+    });
+    nic->set_link_change([this, inc, ifindex](bool up) {
+      if (incarnation() != inc) return;
+      post_control(
+          [this, ifindex, up](sim::Context& ctx) {
+            if (up) {
+              posted_[ifindex] = 0;
+              post_rx_buffers(ifindex, ctx);
+              if (tcp_) tcp_->on_path_restored();
+            }
+          },
+          50);
+    });
+  }
+}
+
+void StackServer::post_rx_buffers(int ifindex, sim::Context& ctx) {
+  int& posted = posted_[ifindex];
+  while (posted < cfg_.rx_buffers_per_nic) {
+    chan::RichPtr buf = rx_pool_->alloc(cfg_.rx_buf_size);
+    if (!buf.valid()) return;
+    if (cfg_.inline_drivers) {
+      drv::SimNic* nic = nic_of(ifindex);
+      if (nic == nullptr || !nic->rx_post(buf)) {
+        rx_pool_->release(buf);
+        return;
+      }
+    } else {
+      chan::Message m;
+      m.opcode = kDrvRxBuf;
+      m.ptr = buf;
+      if (!send_to(driver_name(ifindex), m, ctx)) {
+        rx_pool_->release(buf);
+        return;
+      }
+    }
+    ++posted;
+  }
+}
+
+void StackServer::start(bool restart) {
+  pool_ = env().get_pool("stack.buf", 48u << 20);
+  rx_pool_ = env().get_pool("stack.rx", 32u << 20);
+
+  std::vector<std::string> peers = {kStoreName, kSyscallName};
+  if (!cfg_.inline_drivers) {
+    for (int ifindex : cfg_.ifindexes) peers.push_back(driver_name(ifindex));
+  }
+  for (const auto& p : peers) {
+    expose_in_queue(p, 1024);
+    connect_out(p);
+  }
+
+  build_engines();
+  if (cfg_.inline_drivers) {
+    install_inline_nic_handlers();
+    post_control([this](sim::Context& ctx) {
+      for (int ifindex : cfg_.ifindexes) post_rx_buffers(ifindex, ctx);
+    });
+  }
+
+  if (restart) {
+    restore_replies_expected_ = 4;
+    post_control([this](sim::Context& ctx) {
+      for (std::uint32_t key :
+           {kKeyIpConfig, kKeyUdpSockets, kKeyTcpListeners, kKeyPfRules}) {
+        chan::Message m;
+        m.opcode = kStoreGet;
+        m.arg0 = key;
+        m.req_id = request_db().add(kStoreName, key, {});
+        if (!send_to(kStoreName, m, ctx)) --restore_replies_expected_;
+      }
+      if (restore_replies_expected_ <= 0) announce(true);
+    });
+  } else {
+    post_control([this](sim::Context& ctx) {
+      store_state(ctx);
+      announce(false);
+    });
+  }
+}
+
+void StackServer::on_killed() {
+  tx_backlog_.clear();
+  pf_.reset();
+  tcp_.reset();
+  udp_.reset();
+  ip_.reset();
+  drv_descs_.clear();
+  posted_.clear();
+}
+
+void StackServer::save_one(std::uint32_t key,
+                           const std::vector<std::byte>& bytes,
+                           sim::Context& ctx) {
+  if (bytes.empty()) return;
+  chan::RichPtr chunk = pool_->alloc(static_cast<std::uint32_t>(bytes.size()));
+  if (!chunk.valid()) return;
+  auto view = pool_->write_view(chunk);
+  std::copy(bytes.begin(), bytes.end(), view.begin());
+  chan::Message m;
+  m.opcode = kStorePut;
+  m.arg0 = key;
+  m.req_id = request_db().add(kStoreName, 0, {});
+  m.ptr = chunk;
+  if (!send_to(kStoreName, m, ctx)) pool_->release(chunk);
+}
+
+void StackServer::store_state(sim::Context& ctx) {
+  save_one(kKeyIpConfig, ip_->config().serialize(), ctx);
+  save_one(kKeyUdpSockets, net::UdpEngine::serialize_socks(udp_->snapshot()),
+           ctx);
+  save_one(kKeyTcpListeners,
+           net::TcpEngine::serialize_listeners(tcp_->listeners()), ctx);
+  if (pf_)
+    save_one(kKeyPfRules, net::PfEngine::serialize_rules(pf_->rules()), ctx);
+}
+
+void StackServer::handle_sock_request(
+    char proto, const chan::Message& m, sim::Context& ctx,
+    const std::function<void(const chan::Message&)>& reply) {
+  charge(ctx, sim().costs().socket_op + env().knobs.legacy_per_packet / 4);
+  chan::Message r;
+  r.opcode = kSockReply;
+  r.req_id = m.req_id;
+  r.socket = m.socket;
+  if (proto == 'T') {
+    switch (m.opcode) {
+      case kSockOpen:
+        r.arg0 = tcp_->open();
+        r.socket = static_cast<std::uint32_t>(r.arg0);
+        break;
+      case kSockBind:
+        r.arg0 = tcp_->bind(m.socket,
+                            net::Ipv4Addr{static_cast<std::uint32_t>(m.arg0)},
+                            static_cast<std::uint16_t>(m.arg1))
+                     ? 1
+                     : 0;
+        break;
+      case kSockListen:
+        r.arg0 = tcp_->listen(m.socket, static_cast<int>(m.arg0)) ? 1 : 0;
+        break;
+      case kSockConnect:
+        r.arg0 = tcp_->connect(m.socket,
+                               net::Ipv4Addr{static_cast<std::uint32_t>(m.arg0)},
+                               static_cast<std::uint16_t>(m.arg1))
+                     ? 1
+                     : 0;
+        break;
+      case kSockSend:
+        r.arg0 = tcp_->send(m.socket, m.ptr) ? 1 : 0;
+        break;
+      case kSockClose:
+        r.arg0 = tcp_->close(m.socket) ? 1 : 0;
+        break;
+      default:
+        r.arg0 = 0;
+    }
+  } else {
+    switch (m.opcode) {
+      case kSockOpen:
+        r.arg0 = udp_->open();
+        r.socket = static_cast<std::uint32_t>(r.arg0);
+        break;
+      case kSockBind:
+        r.arg0 = udp_->bind(m.socket,
+                            net::Ipv4Addr{static_cast<std::uint32_t>(m.arg0)},
+                            static_cast<std::uint16_t>(m.arg1))
+                     ? 1
+                     : 0;
+        break;
+      case kSockConnect:
+        r.arg0 = udp_->connect(m.socket,
+                               net::Ipv4Addr{static_cast<std::uint32_t>(m.arg0)},
+                               static_cast<std::uint16_t>(m.arg1))
+                     ? 1
+                     : 0;
+        break;
+      case kSockSendTo:
+        charge(ctx, sim().costs().udp_packet_proc);
+        r.arg0 = udp_->sendto(m.socket, m.ptr,
+                              net::Ipv4Addr{static_cast<std::uint32_t>(m.arg0)},
+                              static_cast<std::uint16_t>(m.arg1))
+                     ? 1
+                     : 0;
+        break;
+      case kSockClose:
+        udp_->close(m.socket);
+        r.arg0 = 1;
+        break;
+      default:
+        r.arg0 = 0;
+    }
+  }
+  reply(r);
+}
+
+void StackServer::on_message(const std::string& from, const chan::Message& m,
+                             sim::Context& ctx) {
+  const auto& costs = sim().costs();
+  switch (m.opcode) {
+    case kDrvTxDone: {
+      auto it = drv_descs_.find(m.req_id);
+      if (it != drv_descs_.end()) {
+        pool_->release(it->second);
+        drv_descs_.erase(it);
+      }
+      if (ip_) ip_->tx_done(m.req_id, m.arg0 != 0);
+      return;
+    }
+    case kDrvRx: {
+      charge(ctx, costs.ip_packet_proc + env().knobs.legacy_per_packet);
+      if (!cfg_.csum_offload) charge(ctx, costs.checksum_cost(m.ptr.length));
+      const int ifindex = ifindex_of(from);
+      auto it = posted_.find(ifindex);
+      if (it != posted_.end() && it->second > 0) --it->second;
+      if (ip_) ip_->input(ifindex, m.ptr);
+      post_rx_buffers(ifindex, ctx);
+      return;
+    }
+    case kDrvLink:
+      if (m.arg0 != 0) {
+        posted_[ifindex_of(from)] = 0;
+        post_rx_buffers(ifindex_of(from), ctx);
+        if (tcp_) tcp_->on_path_restored();
+      }
+      return;
+    case kStoreAck:
+      request_db().complete(m.req_id);
+      return;
+    case kStoreReply: {
+      std::uint64_t key = 0;
+      if (!request_db().complete(m.req_id, &key)) return;
+      if (m.arg0 != 0) {
+        auto bytes = env().pools->read(m.ptr);
+        switch (key) {
+          case kKeyIpConfig:
+            if (auto cfg = net::IpConfig::parse(bytes)) {
+              ip_->set_config(std::move(*cfg));
+            }
+            break;
+          case kKeyUdpSockets:
+            if (auto socks = net::UdpEngine::parse_socks(bytes)) {
+              udp_->restore(*socks);
+            }
+            break;
+          case kKeyTcpListeners:
+            if (auto recs = net::TcpEngine::parse_listeners(bytes)) {
+              for (const auto& rec : *recs) tcp_->restore_listener(rec);
+            }
+            break;
+          case kKeyPfRules:
+            if (pf_) {
+              if (auto rules = net::PfEngine::parse_rules(bytes)) {
+                pf_->set_rules(std::move(*rules));
+              }
+            }
+            break;
+          default:
+            break;
+        }
+        chan::Message rel;
+        rel.opcode = kStoreRelease;
+        rel.ptr = m.ptr;
+        send_to(kStoreName, rel, ctx);
+      }
+      if (--restore_replies_expected_ == 0) announce(true);
+      return;
+    }
+    default:
+      // Socket control over channels (from the SYSCALL server); the proto is
+      // carried in flags (0 = TCP, 1 = UDP).
+      if (m.opcode >= kSockOpen && m.opcode <= kSockClose) {
+        handle_sock_request((m.flags & 2) ? 'U' : 'T', m, ctx,
+                            [this, from, &ctx](const chan::Message& r) {
+                              send_to(from, r, ctx);
+                            });
+      }
+      return;
+  }
+}
+
+void StackServer::on_peer_up(const std::string& peer, bool restarted,
+                             sim::Context& ctx) {
+  if (peer.rfind("drv", 0) == 0) {
+    const int ifindex = ifindex_of(peer);
+    if (restarted) {
+      posted_[ifindex] = 0;
+      if (ip_) ip_->resubmit_tx(ifindex);
+    }
+    post_rx_buffers(ifindex, ctx);
+    return;
+  }
+  if (peer == kStoreName && restarted) store_state(ctx);
+}
+
+}  // namespace newtos::servers

@@ -1,0 +1,77 @@
+#include "src/servers/storage.h"
+
+#include <utility>
+
+namespace newtos::servers {
+
+StorageServer::StorageServer(NodeEnv* env, sim::SimCore* core,
+                             std::vector<std::string> clients)
+    : Server(env, kStoreName, core), clients_(std::move(clients)) {}
+
+void StorageServer::start(bool restart) {
+  pool_ = env().get_pool("store.values", 8u << 20);
+  for (const auto& c : clients_) {
+    expose_in_queue(c);
+    connect_out(c);
+  }
+  announce(restart);
+}
+
+void StorageServer::on_killed() {
+  // Process state dies with the process: peers must re-store everything.
+  values_.clear();
+}
+
+void StorageServer::on_message(const std::string& from,
+                               const chan::Message& m, sim::Context& ctx) {
+  switch (m.opcode) {
+    case kStorePut: {
+      ++puts_;
+      auto bytes = env().pools->read(m.ptr);
+      charge(ctx, sim().costs().copy_cost(
+                      static_cast<std::int64_t>(bytes.size())) +
+                      300);
+      values_[{from, static_cast<std::uint32_t>(m.arg0)}]
+          .assign(bytes.begin(), bytes.end());
+      chan::Message ack;
+      ack.opcode = kStoreAck;
+      ack.req_id = m.req_id;
+      ack.ptr = m.ptr;  // requester may now free its chunk
+      send_to(from, ack, ctx);
+      return;
+    }
+    case kStoreGet: {
+      ++gets_;
+      chan::Message reply;
+      reply.opcode = kStoreReply;
+      reply.req_id = m.req_id;
+      auto it = values_.find({from, static_cast<std::uint32_t>(m.arg0)});
+      if (it == values_.end() || it->second.empty()) {
+        reply.arg0 = 0;
+      } else {
+        chan::RichPtr out =
+            pool_->alloc(static_cast<std::uint32_t>(it->second.size()));
+        if (!out.valid()) {
+          reply.arg0 = 0;  // pool exhausted: treated as missing state
+        } else {
+          auto view = pool_->write_view(out);
+          std::copy(it->second.begin(), it->second.end(), view.begin());
+          charge(ctx, sim().costs().copy_cost(
+                          static_cast<std::int64_t>(it->second.size())) +
+                          300);
+          reply.arg0 = 1;
+          reply.ptr = out;
+        }
+      }
+      send_to(from, reply, ctx);
+      return;
+    }
+    case kStoreRelease:
+      pool_->release(m.ptr);
+      return;
+    default:
+      return;  // unknown opcode: ignore (Section IV-A: validate requests)
+  }
+}
+
+}  // namespace newtos::servers

@@ -1,0 +1,48 @@
+// The storage server (Section V-D): a process dedicated to keeping the
+// interesting state of other components as key/value pairs, so they can be
+// restarted transparently.
+//
+// Values are namespaced by the storing server's name (which the channel
+// identifies — a server cannot forge another's state).  The store itself is
+// process state: if the storage server crashes, it comes back empty and
+// every other server has to store its state again (they watch for our
+// restart announcement).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/servers/proto.h"
+#include "src/servers/server.h"
+
+namespace newtos::servers {
+
+class StorageServer : public Server {
+ public:
+  // `clients` are the servers allowed to store state (in-queues are exposed
+  // to each of them at boot).
+  StorageServer(NodeEnv* env, sim::SimCore* core,
+                std::vector<std::string> clients);
+
+  std::size_t entries() const { return values_.size(); }
+  std::uint64_t puts() const { return puts_; }
+  std::uint64_t gets() const { return gets_; }
+
+ protected:
+  void start(bool restart) override;
+  void on_message(const std::string& from, const chan::Message& m,
+                  sim::Context& ctx) override;
+  void on_killed() override;
+
+ private:
+  std::vector<std::string> clients_;
+  chan::Pool* pool_ = nullptr;  // replies are handed out of this pool
+  std::map<std::pair<std::string, std::uint32_t>, std::vector<std::byte>>
+      values_;
+  std::uint64_t puts_ = 0;
+  std::uint64_t gets_ = 0;
+};
+
+}  // namespace newtos::servers

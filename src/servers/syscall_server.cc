@@ -1,0 +1,95 @@
+#include "src/servers/syscall_server.h"
+
+namespace newtos::servers {
+
+SyscallServer::SyscallServer(NodeEnv* env, sim::SimCore* core,
+                             std::string tcp_target, std::string udp_target)
+    : Server(env, kSyscallName, core),
+      tcp_target_(std::move(tcp_target)),
+      udp_target_(std::move(udp_target)) {}
+
+void SyscallServer::start(bool restart) {
+  expose_in_queue(tcp_target_, 1024);
+  connect_out(tcp_target_);
+  if (udp_target_ != tcp_target_) {
+    expose_in_queue(udp_target_, 1024);
+    connect_out(udp_target_);
+  }
+  // Stateless: restart is trivial (Section V-B).  In-flight calls get
+  // errors; old replies are ignored because pending_ died with us.
+  announce(restart);
+}
+
+void SyscallServer::submit(char proto, chan::Message m, DeliverFn deliver) {
+  ++calls_;
+  post_kernel_msg(
+      [this, proto, m, deliver = std::move(deliver)](sim::Context& ctx) {
+        forward(proto, m, deliver, ctx);
+      },
+      100);
+}
+
+void SyscallServer::forward(char proto, const chan::Message& m,
+                            DeliverFn deliver, sim::Context& ctx) {
+  const std::string& target = proto == 'T' ? tcp_target_ : udp_target_;
+  chan::Message fwd = m;
+  fwd.req_id = next_req_++;
+  if (proto == 'U') fwd.flags |= 2;  // proto marker for the combined stack
+  pending_[fwd.req_id] = Pending{proto, fwd, std::move(deliver)};
+  if (!send_to(target, fwd, ctx)) {
+    // Transport is down right now: fail the call (the app retries).
+    auto it = pending_.find(fwd.req_id);
+    chan::Message err;
+    err.opcode = kSockReply;
+    err.req_id = m.req_id;
+    err.socket = m.socket;
+    err.arg0 = 0;
+    err.flags = 1;  // error
+    it->second.deliver(err);
+    pending_.erase(it);
+  }
+}
+
+void SyscallServer::on_message(const std::string& from,
+                               const chan::Message& m, sim::Context& ctx) {
+  (void)from;
+  (void)ctx;
+  if (m.opcode != kSockReply) return;
+  auto it = pending_.find(m.req_id);
+  if (it == pending_.end()) return;  // stale reply from before a crash
+  chan::Message reply = m;
+  reply.req_id = it->second.request.req_id;  // restore the app's request id
+  it->second.deliver(reply);
+  pending_.erase(it);
+}
+
+void SyscallServer::on_peer_up(const std::string& peer, bool restarted,
+                               sim::Context& ctx) {
+  if (!restarted) return;
+  // Section V-D: for UDP we resubmit the last unfinished operation per
+  // socket (duplicates preferred over losses); TCP "returns error to any
+  // operation the SYSCALL server resubmits except listen".
+  std::vector<std::uint64_t> done;
+  for (auto& [id, p] : pending_) {
+    const std::string& target = p.proto == 'T' ? tcp_target_ : udp_target_;
+    if (target != peer) continue;
+    const char proto = p.proto;
+    const bool resubmit =
+        proto == 'U' || p.request.opcode == kSockListen;
+    if (resubmit) {
+      send_to(peer, p.request, ctx);
+    } else {
+      chan::Message err;
+      err.opcode = kSockReply;
+      err.req_id = p.request.req_id;
+      err.socket = p.request.socket;
+      err.arg0 = 0;
+      err.flags = 1;  // ECONNRESET-flavoured failure
+      p.deliver(err);
+      done.push_back(id);
+    }
+  }
+  for (auto id : done) pending_.erase(id);
+}
+
+}  // namespace newtos::servers

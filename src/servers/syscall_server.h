@@ -1,0 +1,62 @@
+// The SYSCALL server (Section V-B): decouples the synchronous POSIX system
+// calls of applications from the asynchronous internals of the stack.
+//
+// It is the only server that frequently uses kernel IPC — it "pays the
+// trapping toll for the rest of the system".  It merely peeks into requests
+// and forwards them over channels; it has no state worth recovering, except
+// that it remembers the last unfinished operation per socket so it can
+// resubmit (UDP, listen) or return an error (TCP) when a transport restarts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "src/servers/proto.h"
+#include "src/servers/server.h"
+
+namespace newtos::servers {
+
+class SyscallServer : public Server {
+ public:
+  using DeliverFn = std::function<void(const chan::Message&)>;
+
+  // `tcp_target`/`udp_target` name the servers handling each protocol: the
+  // TCP/UDP servers in the split stack, or the combined "stack" server.
+  SyscallServer(NodeEnv* env, sim::SimCore* core,
+                std::string tcp_target = kTcpName,
+                std::string udp_target = kUdpName);
+
+  // Entry point for application system calls (arrives via kernel IPC; the
+  // caller models the app-side trap).  `deliver` carries the reply back to
+  // the application.
+  void submit(char proto, chan::Message m, DeliverFn deliver);
+
+  std::uint64_t calls() const { return calls_; }
+
+ protected:
+  void start(bool restart) override;
+  void on_message(const std::string& from, const chan::Message& m,
+                  sim::Context& ctx) override;
+  void on_peer_up(const std::string& peer, bool restarted,
+                  sim::Context& ctx) override;
+
+ private:
+  struct Pending {
+    char proto = 'T';
+    chan::Message request;
+    DeliverFn deliver;
+  };
+
+  void forward(char proto, const chan::Message& m, DeliverFn deliver,
+               sim::Context& ctx);
+
+  std::string tcp_target_;
+  std::string udp_target_;
+  std::map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_req_ = 1;
+  std::uint64_t calls_ = 0;
+};
+
+}  // namespace newtos::servers

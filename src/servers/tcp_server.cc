@@ -1,0 +1,246 @@
+#include "src/servers/tcp_server.h"
+
+#include <cstring>
+
+#include "src/net/pbuf.h"
+
+namespace newtos::servers {
+
+TcpServer::TcpServer(NodeEnv* env, sim::SimCore* core, net::TcpOptions opts,
+                     std::function<net::Ipv4Addr(net::Ipv4Addr)> src_for)
+    : Server(env, kTcpName, core),
+      opts_(opts),
+      src_for_(std::move(src_for)) {}
+
+void TcpServer::build_engine() {
+  net::TcpEngine::Env e;
+  e.clock = clock();
+  e.timers = timers();
+  e.pools = env().pools;
+  e.buf_pool = pool_;
+  e.src_for = src_for_;
+  e.output = [this](net::TxSeg&& seg, std::uint64_t cookie) {
+    sim::Context& ctx = cur();
+    // Segmentation work is charged here, per emitted segment — with TSO one
+    // superframe covers ~42 MSS of payload, which is the whole point.
+    charge(ctx, sim().costs().tcp_segment_proc + 150);
+    chan::RichPtr desc =
+        net::pack_chain(*pool_, seg.l4_header, seg.payload, seg.offload);
+    if (!desc.valid()) {
+      engine_->seg_done(cookie, false);
+      return;
+    }
+    chan::Message m;
+    m.opcode = kIpTx;
+    m.req_id = cookie;
+    m.ptr = desc;
+    m.arg0 = pack_addrs(seg.src, seg.dst);
+    m.arg1 = seg.protocol;
+    if (!send_to(kIpName, m, ctx)) {
+      pool_->release(desc);
+      engine_->seg_done(cookie, false);  // IP down: RTO recovers
+      return;
+    }
+    tx_descs_.emplace(cookie, desc);
+  };
+  e.rx_done = [this](const chan::RichPtr& frame) {
+    chan::Message m;
+    m.opcode = kL4RxDone;
+    m.ptr = frame;
+    send_to(kIpName, m, cur());
+  };
+  e.notify = [this](net::SockId s, net::TcpEvent ev) {
+    if (env().sock_event)
+      env().sock_event('T', s, static_cast<std::uint8_t>(ev));
+  };
+  engine_ = std::make_unique<net::TcpEngine>(std::move(e), opts_);
+}
+
+void TcpServer::start(bool restart) {
+  pool_ = env().get_pool("tcp.buf", 32u << 20);
+  for (const char* p : {kIpName, kStoreName, kPfName, kSyscallName}) {
+    expose_in_queue(p, 1024);
+    connect_out(p);
+  }
+  build_engine();
+  if (restart) {
+    post_control([this](sim::Context& ctx) {
+      chan::Message m;
+      m.opcode = kStoreGet;
+      m.arg0 = kKeyTcpListeners;
+      m.req_id = request_db().add(kStoreName, 0, {});
+      if (!send_to(kStoreName, m, ctx)) announce(true);
+    });
+  } else {
+    post_control([this](sim::Context&) { announce(false); });
+  }
+}
+
+void TcpServer::on_killed() {
+  engine_.reset();  // all established connections are gone (Table I)
+  tx_descs_.clear();
+}
+
+void TcpServer::save_listeners(sim::Context& ctx) {
+  const auto bytes =
+      net::TcpEngine::serialize_listeners(engine_->listeners());
+  chan::RichPtr chunk =
+      pool_->alloc(static_cast<std::uint32_t>(bytes.size()));
+  if (!chunk.valid()) return;
+  auto view = pool_->write_view(chunk);
+  std::copy(bytes.begin(), bytes.end(), view.begin());
+  chan::Message m;
+  m.opcode = kStorePut;
+  m.arg0 = kKeyTcpListeners;
+  m.req_id = request_db().add(kStoreName, 0, {});
+  m.ptr = chunk;
+  if (!send_to(kStoreName, m, ctx)) pool_->release(chunk);
+}
+
+void TcpServer::handle_sock_request(
+    const chan::Message& m, sim::Context& ctx,
+    const std::function<void(const chan::Message&)>& reply) {
+  charge(ctx, sim().costs().socket_op);
+  chan::Message r;
+  r.opcode = kSockReply;
+  r.req_id = m.req_id;
+  r.socket = m.socket;
+  switch (m.opcode) {
+    case kSockOpen:
+      r.arg0 = engine_->open();
+      r.socket = static_cast<std::uint32_t>(r.arg0);
+      break;
+    case kSockBind:
+      r.arg0 = engine_->bind(m.socket,
+                             net::Ipv4Addr{static_cast<std::uint32_t>(m.arg0)},
+                             static_cast<std::uint16_t>(m.arg1))
+                   ? 1
+                   : 0;
+      break;
+    case kSockListen:
+      r.arg0 = engine_->listen(m.socket, static_cast<int>(m.arg0)) ? 1 : 0;
+      save_listeners(ctx);
+      break;
+    case kSockConnect:
+      // Completion is signalled by the Connected/Reset socket event.
+      r.arg0 = engine_->connect(
+                   m.socket, net::Ipv4Addr{static_cast<std::uint32_t>(m.arg0)},
+                   static_cast<std::uint16_t>(m.arg1))
+                   ? 1
+                   : 0;
+      break;
+    case kSockSend:
+      r.arg0 = engine_->send(m.socket, m.ptr) ? 1 : 0;
+      break;
+    case kSockClose:
+      r.arg0 = engine_->close(m.socket) ? 1 : 0;
+      save_listeners(ctx);
+      break;
+    default:
+      r.arg0 = 0;
+      break;
+  }
+  reply(r);
+}
+
+void TcpServer::on_message(const std::string& from, const chan::Message& m,
+                           sim::Context& ctx) {
+  switch (m.opcode) {
+    case kL4Rx: {
+      // Data segments cost more than pure ACKs; approximate by length.
+      const std::uint16_t l4_len = static_cast<std::uint16_t>(m.arg0);
+      charge(ctx, l4_len > net::kTcpHeaderLen
+                      ? sim().costs().tcp_segment_proc
+                      : sim().costs().tcp_ack_proc);
+      net::L4Packet pkt;
+      pkt.frame = m.ptr;
+      pkt.l4_offset = static_cast<std::uint16_t>(m.arg0 >> 16);
+      pkt.l4_length = l4_len;
+      pkt.src = unpack_hi(m.arg1);
+      pkt.dst = unpack_lo(m.arg1);
+      engine_->input(std::move(pkt));
+      return;
+    }
+    case kIpTxDone: {
+      charge(ctx, sim().costs().request_db_op);
+      auto it = tx_descs_.find(m.req_id);
+      if (it != tx_descs_.end()) {
+        pool_->release(it->second);
+        tx_descs_.erase(it);
+      }
+      engine_->seg_done(m.req_id, m.arg0 != 0);
+      return;
+    }
+    case kConnList: {
+      const auto keys = engine_->connection_keys();
+      const std::uint32_t bytes = static_cast<std::uint32_t>(
+          4 + keys.size() * sizeof(net::PfStateKey));
+      chan::RichPtr chunk = pool_->alloc(bytes);
+      chan::Message r;
+      r.opcode = kConnListReply;
+      r.req_id = m.req_id;
+      if (chunk.valid()) {
+        auto view = pool_->write_view(chunk);
+        std::uint32_t n = static_cast<std::uint32_t>(keys.size());
+        std::memcpy(view.data(), &n, 4);
+        if (n > 0) {
+          std::memcpy(view.data() + 4, keys.data(),
+                      keys.size() * sizeof(net::PfStateKey));
+        }
+        r.ptr = chunk;
+      }
+      send_to(from, r, ctx);
+      return;
+    }
+    case kDrvLink:
+      if (m.arg0 != 0 && engine_) engine_->on_path_restored();
+      return;
+    case kStoreRelease:
+      pool_->release(m.ptr);
+      return;
+    case kStoreAck:
+      request_db().complete(m.req_id);
+      return;
+    case kStoreReply: {
+      if (!request_db().complete(m.req_id)) return;
+      if (m.arg0 != 0) {
+        auto recs = net::TcpEngine::parse_listeners(env().pools->read(m.ptr));
+        if (recs) {
+          // "TCP can only restore listening sockets since they do not have
+          // any frequently changing state" (Section V-D).
+          for (const auto& rec : *recs) engine_->restore_listener(rec);
+        }
+        chan::Message rel;
+        rel.opcode = kStoreRelease;
+        rel.ptr = m.ptr;
+        send_to(kStoreName, rel, ctx);
+      }
+      announce(true);
+      return;
+    }
+    default:
+      if (m.opcode >= kSockOpen && m.opcode <= kSockClose) {
+        handle_sock_request(m, ctx, [this, from, &ctx](const chan::Message& r) {
+          send_to(from, r, ctx);
+        });
+      }
+      return;
+  }
+}
+
+void TcpServer::on_peer_up(const std::string& peer, bool restarted,
+                           sim::Context& ctx) {
+  (void)ctx;
+  if (peer == kIpName && restarted) {
+    // IP lost everything in flight: free our descriptors (replies to the old
+    // requests will never arrive / are ignored) and retransmit quickly to
+    // recover the original bitrate (Section V-D "IP", Figure 4).
+    for (auto& [cookie, desc] : tx_descs_) pool_->release(desc);
+    tx_descs_.clear();
+    if (engine_) engine_->on_ip_restart();
+    return;
+  }
+  if (peer == kStoreName && restarted) save_listeners(ctx);
+}
+
+}  // namespace newtos::servers

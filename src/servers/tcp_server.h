@@ -1,0 +1,50 @@
+// The TCP server: hosts the TCP engine — the component with "large,
+// frequently changing state for each connection, difficult to recover"
+// (Table I).  Only listening sockets are stored and restored; established
+// connections die with the server, which is the paper's deliberate
+// trade-off: isolating the unrecoverable part keeps everything else
+// restartable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "src/net/tcp.h"
+#include "src/servers/proto.h"
+#include "src/servers/server.h"
+
+namespace newtos::servers {
+
+class TcpServer : public Server {
+ public:
+  TcpServer(NodeEnv* env, sim::SimCore* core, net::TcpOptions opts,
+            std::function<net::Ipv4Addr(net::Ipv4Addr)> src_for);
+
+  net::TcpEngine* engine() { return engine_.get(); }
+
+  void handle_sock_request(const chan::Message& m, sim::Context& ctx,
+                           const std::function<void(const chan::Message&)>&
+                               reply);
+
+ protected:
+  void start(bool restart) override;
+  void on_message(const std::string& from, const chan::Message& m,
+                  sim::Context& ctx) override;
+  void on_peer_up(const std::string& peer, bool restarted,
+                  sim::Context& ctx) override;
+  void on_killed() override;
+
+ private:
+  void build_engine();
+  void save_listeners(sim::Context& ctx);
+
+  net::TcpOptions opts_;
+  std::function<net::Ipv4Addr(net::Ipv4Addr)> src_for_;
+  std::unique_ptr<net::TcpEngine> engine_;
+  chan::Pool* pool_ = nullptr;
+  // kIpTx descriptors in flight; freed on kIpTxDone or IP restart.
+  std::unordered_map<std::uint64_t, chan::RichPtr> tx_descs_;
+};
+
+}  // namespace newtos::servers

@@ -1,0 +1,241 @@
+#include "src/servers/udp_server.h"
+
+#include <cstring>
+
+#include "src/net/pbuf.h"
+
+namespace newtos::servers {
+
+UdpServer::UdpServer(NodeEnv* env, sim::SimCore* core,
+                     std::function<net::Ipv4Addr(net::Ipv4Addr)> src_for)
+    : Server(env, kUdpName, core), src_for_(std::move(src_for)) {}
+
+void UdpServer::build_engine() {
+  net::UdpEngine::Env e;
+  e.clock = clock();
+  e.pools = env().pools;
+  e.buf_pool = pool_;
+  e.src_for = src_for_;
+  e.output = [this](net::TxSeg&& seg, std::uint64_t cookie) {
+    sim::Context& ctx = cur();
+    charge(ctx, 150);  // descriptor packing
+    chan::RichPtr desc =
+        net::pack_chain(*pool_, seg.l4_header, seg.payload, seg.offload);
+    if (!desc.valid()) {
+      engine_->seg_done(cookie, false);
+      return;
+    }
+    chan::Message m;
+    m.opcode = kIpTx;
+    m.req_id = cookie;
+    m.ptr = desc;
+    m.arg0 = pack_addrs(seg.src, seg.dst);
+    m.arg1 = seg.protocol;
+    if (!send_to(kIpName, m, ctx)) {
+      pool_->release(desc);
+      engine_->seg_done(cookie, false);  // IP down: datagram dropped
+      return;
+    }
+    pending_tx_.emplace(cookie, PendingTx{desc, m.arg0});
+  };
+  e.rx_done = [this](const chan::RichPtr& frame) {
+    chan::Message m;
+    m.opcode = kL4RxDone;
+    m.ptr = frame;
+    send_to(kIpName, m, cur());
+  };
+  e.notify_readable = [this](net::SockId s) {
+    if (env().sock_event) env().sock_event('U', s, 0);
+  };
+  engine_ = std::make_unique<net::UdpEngine>(std::move(e));
+}
+
+void UdpServer::start(bool restart) {
+  pool_ = env().get_pool("udp.buf", 8u << 20);
+  for (const char* p : {kIpName, kStoreName, kPfName, kSyscallName}) {
+    expose_in_queue(p);
+    connect_out(p);
+  }
+  build_engine();
+  if (restart) {
+    post_control([this](sim::Context& ctx) {
+      chan::Message m;
+      m.opcode = kStoreGet;
+      m.arg0 = kKeyUdpSockets;
+      m.req_id = request_db().add(kStoreName, 0, {});
+      if (!send_to(kStoreName, m, ctx)) announce(true);
+    });
+  } else {
+    post_control([this](sim::Context&) { announce(false); });
+  }
+}
+
+void UdpServer::on_killed() {
+  engine_.reset();
+  pending_tx_.clear();  // in-flight descriptors leak, bounded per crash
+}
+
+void UdpServer::save_sockets(sim::Context& ctx) {
+  const auto bytes = net::UdpEngine::serialize_socks(engine_->snapshot());
+  chan::RichPtr chunk =
+      pool_->alloc(static_cast<std::uint32_t>(bytes.size()));
+  if (!chunk.valid()) return;
+  auto view = pool_->write_view(chunk);
+  std::copy(bytes.begin(), bytes.end(), view.begin());
+  chan::Message m;
+  m.opcode = kStorePut;
+  m.arg0 = kKeyUdpSockets;
+  m.req_id = request_db().add(kStoreName, 0, {});
+  m.ptr = chunk;
+  if (!send_to(kStoreName, m, ctx)) pool_->release(chunk);
+}
+
+void UdpServer::handle_sock_request(
+    const chan::Message& m, sim::Context& ctx,
+    const std::function<void(const chan::Message&)>& reply) {
+  charge(ctx, sim().costs().socket_op);
+  chan::Message r;
+  r.opcode = kSockReply;
+  r.req_id = m.req_id;
+  r.socket = m.socket;
+  bool state_changed = false;
+  switch (m.opcode) {
+    case kSockOpen:
+      r.arg0 = engine_->open();
+      r.socket = static_cast<std::uint32_t>(r.arg0);
+      state_changed = true;
+      break;
+    case kSockBind:
+      r.arg0 = engine_->bind(m.socket, net::Ipv4Addr{
+                                           static_cast<std::uint32_t>(m.arg0)},
+                             static_cast<std::uint16_t>(m.arg1))
+                   ? 1
+                   : 0;
+      state_changed = true;
+      break;
+    case kSockConnect:
+      r.arg0 = engine_->connect(
+                   m.socket,
+                   net::Ipv4Addr{static_cast<std::uint32_t>(m.arg0)},
+                   static_cast<std::uint16_t>(m.arg1))
+                   ? 1
+                   : 0;
+      state_changed = true;
+      break;
+    case kSockSendTo:
+      charge(ctx, sim().costs().udp_packet_proc);
+      r.arg0 = engine_->sendto(
+                   m.socket, m.ptr,
+                   net::Ipv4Addr{static_cast<std::uint32_t>(m.arg0)},
+                   static_cast<std::uint16_t>(m.arg1))
+                   ? 1
+                   : 0;
+      break;
+    case kSockClose:
+      engine_->close(m.socket);
+      r.arg0 = 1;
+      state_changed = true;
+      break;
+    default:
+      r.arg0 = 0;
+      break;
+  }
+  reply(r);
+  if (state_changed) save_sockets(ctx);
+}
+
+void UdpServer::on_message(const std::string& from, const chan::Message& m,
+                           sim::Context& ctx) {
+  switch (m.opcode) {
+    case kL4Rx: {
+      charge(ctx, sim().costs().udp_packet_proc);
+      net::L4Packet pkt;
+      pkt.frame = m.ptr;
+      pkt.l4_offset = static_cast<std::uint16_t>(m.arg0 >> 16);
+      pkt.l4_length = static_cast<std::uint16_t>(m.arg0);
+      pkt.src = unpack_hi(m.arg1);
+      pkt.dst = unpack_lo(m.arg1);
+      engine_->input(std::move(pkt));
+      return;
+    }
+    case kIpTxDone: {
+      auto it = pending_tx_.find(m.req_id);
+      if (it != pending_tx_.end()) {
+        pool_->release(it->second.desc);
+        pending_tx_.erase(it);
+      }
+      engine_->seg_done(m.req_id, m.arg0 != 0);
+      return;
+    }
+    case kConnList: {
+      // PF is rebuilding its connection table (Section V-D).
+      const auto keys = engine_->connection_keys();
+      const std::uint32_t bytes =
+          static_cast<std::uint32_t>(4 + keys.size() * sizeof(net::PfStateKey));
+      chan::RichPtr chunk = pool_->alloc(bytes);
+      chan::Message r;
+      r.opcode = kConnListReply;
+      r.req_id = m.req_id;
+      if (chunk.valid()) {
+        auto view = pool_->write_view(chunk);
+        std::uint32_t n = static_cast<std::uint32_t>(keys.size());
+        std::memcpy(view.data(), &n, 4);
+        if (n > 0) {
+          std::memcpy(view.data() + 4, keys.data(),
+                      keys.size() * sizeof(net::PfStateKey));
+        }
+        r.ptr = chunk;
+      }
+      send_to(from, r, ctx);
+      return;
+    }
+    case kStoreRelease:
+      pool_->release(m.ptr);
+      return;
+    case kStoreAck:
+      request_db().complete(m.req_id);
+      return;
+    case kStoreReply: {
+      if (!request_db().complete(m.req_id)) return;
+      if (m.arg0 != 0) {
+        auto socks = net::UdpEngine::parse_socks(env().pools->read(m.ptr));
+        if (socks) engine_->restore(*socks);
+        chan::Message rel;
+        rel.opcode = kStoreRelease;
+        rel.ptr = m.ptr;
+        send_to(kStoreName, rel, ctx);
+      }
+      announce(true);
+      return;
+    }
+    default:
+      // Socket control over channels (SYSCALL server path).
+      if (m.opcode >= kSockOpen && m.opcode <= kSockClose) {
+        handle_sock_request(m, ctx, [this, from, &ctx](const chan::Message& r) {
+          send_to(from, r, ctx);
+        });
+      }
+      return;
+  }
+}
+
+void UdpServer::on_peer_up(const std::string& peer, bool restarted,
+                           sim::Context& ctx) {
+  if (peer == kIpName && restarted) {
+    // Resubmit in-flight datagrams: we prefer duplicates over losses
+    // (Section V-D "UDP").
+    for (auto& [cookie, pending] : pending_tx_) {
+      chan::Message m;
+      m.opcode = kIpTx;
+      m.req_id = cookie;
+      m.ptr = pending.desc;
+      m.arg0 = pending.arg0;
+      m.arg1 = net::kProtoUdp;
+      send_to(kIpName, m, ctx);
+    }
+    return;
+  }
+  if (peer == kStoreName && restarted) save_sockets(ctx);
+}
+
+}  // namespace newtos::servers

@@ -1,0 +1,80 @@
+// Cycle-cost model for the simulated machine.
+//
+// Constants marked [paper] are taken directly from the DSN'12 text
+// (Section IV: ~30 cycles to enqueue on a channel, ~150 cycles for a hot
+// SYSCALL trap, ~3000 cycles cold).  Constants marked [calibrated] were
+// chosen so that the Table II baseline configurations land in the bands the
+// paper reports; EXPERIMENTS.md discusses the calibration.
+#pragma once
+
+#include "src/sim/time.h"
+
+namespace newtos::sim {
+
+struct CostModel {
+  // Clock rate of a simulated core (AMD Opteron 6168). [paper]
+  double ghz = 1.9;
+
+  // --- IPC primitives -----------------------------------------------------
+  // Asynchronous enqueue onto a shared-memory channel, including the stall
+  // cycles to fetch the updated head pointer. [paper]
+  Cycles channel_enqueue = 30;
+  // Dequeue from a channel on the consumer side. [calibrated, symmetric]
+  Cycles channel_dequeue = 25;
+  // Kernel trap (SYSCALL) with warm caches. [paper]
+  Cycles trap_hot = 150;
+  // Kernel trap with cold caches. [paper]
+  Cycles trap_cold = 3000;
+  // Full context switch between processes on one core. [calibrated]
+  Cycles context_switch = 1500;
+  // Interprocessor interrupt to wake a remote core. [calibrated]
+  Cycles ipi = 900;
+  // Latency to resume a server that parked in (kernel-assisted) MWAIT:
+  // the kernel must restore the user context. [calibrated, Section IV-B]
+  Cycles mwait_wakeup = 1800;
+  // Pulling one remote-core cache line (message slot, descriptor, header)
+  // into the local cache. [calibrated]
+  Cycles cache_line_pull = 120;
+  // Request-database insert/complete pair. [calibrated]
+  Cycles request_db_op = 90;
+
+  // --- Data movement -------------------------------------------------------
+  // memcpy cost per byte (warm). [calibrated]
+  double copy_per_byte = 0.25;
+  // Software Internet checksum per byte; zero when offloaded to the NIC.
+  double checksum_per_byte = 0.5;
+
+  // --- Protocol processing (per packet / per segment) ----------------------
+  // These are the per-stage costs of the real work each server performs,
+  // charged on top of the IPC costs above. [calibrated]
+  Cycles tcp_segment_proc = 5400;   // segmentation, cwnd, timers, ACK handling
+  Cycles tcp_ack_proc = 900;        // pure-ACK receive processing
+  Cycles ip_packet_proc = 800;      // routing, header fill, checksum fixup
+  Cycles pf_packet_proc = 600;      // rule walk hit in state table
+  Cycles pf_rule_cost = 12;         // per rule walked when no state matches
+  Cycles udp_packet_proc = 700;
+  Cycles drv_packet_proc = 420;     // descriptor fill, tail pointer update
+  Cycles socket_op = 500;           // per socket-layer syscall bookkeeping
+
+  // The original MINIX 3 stack (Table II line 1) paid several synchronous
+  // kernel messages and data copies per packet, with the whole stack and the
+  // application timesharing one core.  This lump captures its per-packet
+  // path length beyond the modelled traps/copies/switches. [calibrated]
+  Cycles minix_stack_per_packet = 110000;
+
+  // --- Conversions ----------------------------------------------------------
+  Time cycles_to_time(Cycles c) const {
+    return static_cast<Time>(static_cast<double>(c) / ghz);
+  }
+  Cycles time_to_cycles(Time t) const {
+    return static_cast<Cycles>(static_cast<double>(t) * ghz);
+  }
+  Cycles copy_cost(std::int64_t bytes) const {
+    return static_cast<Cycles>(copy_per_byte * static_cast<double>(bytes));
+  }
+  Cycles checksum_cost(std::int64_t bytes) const {
+    return static_cast<Cycles>(checksum_per_byte * static_cast<double>(bytes));
+  }
+};
+
+}  // namespace newtos::sim

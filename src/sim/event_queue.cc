@@ -1,0 +1,36 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+namespace newtos::sim {
+
+EventId EventQueue::push(Time t, EventFn fn) {
+  const EventId id = next_id_++;
+  heap_.push(Event{t, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) { return pending_.erase(id) != 0; }
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() && pending_.count(heap_.top().id) == 0) heap_.pop();
+}
+
+bool EventQueue::pop_and_run() {
+  drop_cancelled();
+  if (heap_.empty()) return false;
+  // Move the handler out before popping so the event may schedule more work.
+  EventFn fn = std::move(const_cast<Event&>(heap_.top()).fn);
+  pending_.erase(heap_.top().id);
+  heap_.pop();
+  fn();
+  return true;
+}
+
+Time EventQueue::next_time() {
+  drop_cancelled();
+  return heap_.top().t;
+}
+
+}  // namespace newtos::sim

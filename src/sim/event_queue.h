@@ -1,0 +1,57 @@
+// Deterministic discrete-event queue.
+//
+// Events with equal timestamps fire in submission order, which keeps every
+// simulation run bit-for-bit reproducible regardless of host scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace newtos::sim {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  // Schedules `fn` at absolute time `t`.  Returns an id usable with cancel().
+  EventId push(Time t, EventFn fn);
+
+  // Cancels a pending event.  Returns false if it already fired or was
+  // cancelled before.  O(1); the heap entry is dropped lazily.
+  bool cancel(EventId id);
+
+  // Fires the earliest pending event.  Returns false when empty.
+  bool pop_and_run();
+
+  bool empty() const { return pending_.empty(); }
+  std::size_t size() const { return pending_.size(); }
+
+  // Timestamp of the earliest live event; undefined when empty().
+  Time next_time();
+
+ private:
+  struct Event {
+    Time t;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t > b.t || (a.t == b.t && a.id > b.id);
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> pending_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace newtos::sim

@@ -1,0 +1,22 @@
+// Virtual time and cycle types used throughout the simulator.
+//
+// The simulator models the paper's testbed (12-core AMD Opteron 6168 at
+// 1.9 GHz) in virtual time.  All protocol and server code executes for real;
+// only the passage of time is simulated, driven by the cost model.
+#pragma once
+
+#include <cstdint>
+
+namespace newtos::sim {
+
+// Virtual time in nanoseconds since simulation start.
+using Time = std::int64_t;
+
+// CPU cycles on a simulated core.
+using Cycles = std::int64_t;
+
+constexpr Time kMicrosecond = 1'000;
+constexpr Time kMillisecond = 1'000'000;
+constexpr Time kSecond = 1'000'000'000;
+
+}  // namespace newtos::sim

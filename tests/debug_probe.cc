@@ -1,0 +1,114 @@
+// Scratch probe (not a ctest): prints stack internals while a bulk transfer
+// "runs", to locate where the path stalls.
+#include <cstdio>
+#include <string>
+
+#include "src/core/apps.h"
+#include "src/core/testbed.h"
+
+using namespace newtos;
+
+int main(int argc, char** argv) {
+  TestbedOptions opts;
+  opts.mode = StackMode::kSplitSyscall;
+  if (argc > 1 && std::string(argv[1]) == "single") opts.mode = StackMode::kSingleServer;
+  if (argc > 1 && std::string(argv[1]) == "minix") opts.mode = StackMode::kMinixSync;
+  if (argc > 1 && std::string(argv[1]) == "ideal") opts.mode = StackMode::kIdealMonolithic;
+  Testbed tb(opts);
+
+  AppActor* tx_app = tb.newtos().add_app("iperf_tx");
+  AppActor* rx_app = tb.peer().add_app("iperf_rx");
+
+  apps::BulkReceiver::Config rc;
+  rc.record_series = false;
+  apps::BulkReceiver receiver(tb.peer(), rx_app, rc);
+  receiver.start();
+
+  apps::BulkSender::Config sc;
+  sc.dst = tb.newtos().peer_addr(0);
+  apps::BulkSender sender(tb.newtos(), tx_app, sc);
+  sender.start();
+
+  for (int ms : {200, 600, 1000, 1400, 1800, 2500}) {
+    tb.run_until(ms * sim::kMillisecond);
+    auto* tcp = tb.newtos().tcp_engine();
+    auto* ip = tb.newtos().ip_engine();
+    auto* ptcp = tb.peer().tcp_engine();
+    std::printf("--- t=%dms rx_bytes=%llu\n", ms,
+                (unsigned long long)receiver.bytes());
+    if (tcp) {
+      std::printf("  newtos.tcp: segs_out=%llu segs_in=%llu bytes_out=%llu "
+                  "conns=%zu estab=%llu retx=%llu rtos=%llu\n",
+                  (unsigned long long)tcp->stats().segs_out,
+                  (unsigned long long)tcp->stats().segs_in,
+                  (unsigned long long)tcp->stats().bytes_out,
+                  tcp->connection_count(),
+                  (unsigned long long)tcp->stats().conns_established,
+                  (unsigned long long)tcp->stats().bytes_retx,
+                  (unsigned long long)tcp->stats().rtos);
+    }
+    if (ip) {
+      std::printf("  newtos.ip: tx_segs=%llu tx_frames=%llu rx=%llu "
+                  "deliv=%llu no_route=%llu pf_drop=%llu malformed=%llu "
+                  "arp_to=%llu tx_pend=%zu\n",
+                  (unsigned long long)ip->stats().tx_segs,
+                  (unsigned long long)ip->stats().tx_frames,
+                  (unsigned long long)ip->stats().rx_frames,
+                  (unsigned long long)ip->stats().rx_delivered,
+                  (unsigned long long)ip->stats().dropped_no_route,
+                  (unsigned long long)ip->stats().dropped_pf,
+                  (unsigned long long)ip->stats().dropped_malformed,
+                  (unsigned long long)ip->stats().dropped_arp_timeout,
+                  ip->tx_pending());
+    }
+    if (ptcp) {
+      std::printf("  peer.tcp: segs_out=%llu segs_in=%llu bytes_in=%llu "
+                  "estab=%llu ooo=%llu\n",
+                  (unsigned long long)ptcp->stats().segs_out,
+                  (unsigned long long)ptcp->stats().segs_in,
+                  (unsigned long long)ptcp->stats().bytes_in,
+                  (unsigned long long)ptcp->stats().conns_established,
+                  (unsigned long long)ptcp->stats().ooo_dropped);
+    }
+    auto& nic = *tb.newtos().nic(0);
+    std::printf("  nic0: tx_frames=%llu descs=%llu ringfull=%llu rx=%llu "
+                "nobuf=%llu badaddr=%llu link=%d | wire: deliv=%llu\n",
+                (unsigned long long)nic.stats().tx_frames,
+                (unsigned long long)nic.stats().tx_descs,
+                (unsigned long long)nic.stats().tx_ring_full,
+                (unsigned long long)nic.stats().rx_frames,
+                (unsigned long long)nic.stats().rx_no_buffer,
+                (unsigned long long)nic.stats().rx_bad_addr,
+                nic.link_up() ? 1 : 0,
+                (unsigned long long)tb.wire(0).frames_delivered());
+    if (tcp && tcp->connection_count() > 0) {
+      std::printf("  newtos conn1: %s\n  newtos conn2: %s\n", tcp->debug(1).c_str(), tcp->debug(2).c_str());
+    }
+    if (ptcp && ptcp->connection_count() > 0) {
+      std::printf("  peer conn: %s\n", ptcp->debug(2).c_str());
+    }
+    std::printf("  sender: connected=%d outstanding=%d | pools:", 
+                sender.connected() ? 1 : 0, sender.outstanding());
+    for (auto name : {"stack.buf", "tcp.buf"}) {
+      (void)name;
+    }
+    {
+      auto& reg = tb.newtos().pools();
+      for (std::uint32_t id = 1; id <= reg.count(); ++id) {
+        if (auto* p = reg.find(id))
+          std::printf(" %s=%zuKB/%zu", p->name().c_str(),
+                      p->bytes_live() / 1024, p->chunks_live());
+      }
+    }
+    std::printf("\n");
+    auto& pnic = *tb.peer().nic(0);
+    std::printf("  peernic: tx=%llu rx=%llu nobuf=%llu\n",
+                (unsigned long long)pnic.stats().tx_frames,
+                (unsigned long long)pnic.stats().rx_frames,
+                (unsigned long long)pnic.stats().rx_no_buffer);
+    for (const auto& [t, msg] : tb.newtos().stats().events()) {
+      std::printf("  event@%.3fs %s\n", t / 1e9, msg.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include <cstdio>
+#include "src/core/apps.h"
+#include "src/core/testbed.h"
+using namespace newtos;
+int main(int argc, char**) {
+  const bool with_echo = argc < 2;  // any arg: dns only
+  TestbedOptions opts;
+  opts.mode = StackMode::kSplitSyscall;
+  Testbed tb(opts);
+  AppActor* srv_app = with_echo ? tb.newtos().add_app("sshd") : nullptr;
+  apps::EchoServer echo_srv(tb.newtos(), srv_app ? srv_app : tb.newtos().add_app("x"), {});
+  AppActor* cli_app = tb.peer().add_app("ssh");
+  apps::EchoClient::Config ec; ec.dst = tb.peer().peer_addr(0);
+  apps::EchoClient echo_cli(tb.peer(), cli_app, ec);
+  if (with_echo) { echo_srv.start(); echo_cli.start(); }
+  AppActor* dns_srv_app = tb.peer().add_app("named");
+  apps::DnsServer dns_srv(tb.peer(), dns_srv_app);
+  dns_srv.start();
+  AppActor* dns_cli_app = tb.newtos().add_app("resolver");
+  apps::DnsClient::Config dc; dc.dst = tb.newtos().peer_addr(0);
+  apps::DnsClient dns_cli(tb.newtos(), dns_cli_app, dc);
+  dns_cli.start();
+  for (long long steps = 0;; ++steps) {
+    if (!tb.sim().step()) break;
+    if (true) {
+      std::printf("steps=%lld t=%.6fs\n", steps, tb.sim().now() / 1e9);
+      std::fflush(stdout);
+    }
+    if (tb.sim().now() > 2 * sim::kSecond) break;
+  }
+  {
+    int i = 20;
+    std::printf("t=%.1fs echo ok=%llu to=%llu rst=%llu conn=%d dns %llu/%llu\n",
+                i * 0.1, (unsigned long long)echo_cli.ok(),
+                (unsigned long long)echo_cli.timeouts(),
+                (unsigned long long)echo_cli.resets(), echo_cli.connected(),
+                (unsigned long long)dns_cli.answered(),
+                (unsigned long long)dns_cli.sent());
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include <cstdio>
+#include "src/core/apps.h"
+#include "src/core/fault_injection.h"
+#include "src/core/testbed.h"
+using namespace newtos;
+int main() {
+  TestbedOptions opts; opts.mode = StackMode::kSplitSyscall; opts.pf_filler_rules = 64;
+  Testbed tb(opts);
+  AppActor* sshd_app = tb.newtos().add_app("sshd");
+  apps::EchoServer sshd(tb.newtos(), sshd_app, {}); sshd.start();
+  AppActor* ssh_app = tb.peer().add_app("ssh");
+  apps::EchoClient::Config ec; ec.dst = tb.peer().peer_addr(0);
+  apps::EchoClient ssh(tb.peer(), ssh_app, ec); ssh.start();
+  FaultInjector faults(tb.newtos(), 7);
+  faults.inject_at(2 * sim::kSecond, servers::kStoreName, FaultType::Crash);
+  faults.inject_at(3 * sim::kSecond, servers::kTcpName, FaultType::Crash);
+  for (int ms : {1900, 2500, 3200, 4000, 5000, 8000}) {
+    tb.run_until(ms * sim::kMillisecond);
+    auto* tcp = tb.newtos().tcp_engine();
+    auto* store = tb.newtos().storage();
+    std::printf("t=%.1fs store_entries=%zu tcp_listeners=%zu ssh conn=%d ok=%llu rst=%llu reconn=%llu\n",
+                ms / 1000.0, store ? store->entries() : 0,
+                tcp ? tcp->listeners().size() : 0, ssh.connected(),
+                (unsigned long long)ssh.ok(), (unsigned long long)ssh.resets(),
+                (unsigned long long)ssh.reconnects());
+  }
+  for (auto& [t, msg] : tb.newtos().stats().events())
+    std::printf("  [%.3f] %s\n", t / 1e9, msg.c_str());
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+#include "src/core/apps.h"
+#include "src/core/testbed.h"
+using namespace newtos;
+int main(int argc, char** argv) {
+  TestbedOptions o;
+  o.mode = StackMode::kSingleServer; o.nics = 5; o.tso = true;
+  if (argc > 1 && std::string(argv[1]) == "split") o.mode = StackMode::kSplitSyscall;
+  Testbed tb(o);
+  std::vector<std::unique_ptr<apps::BulkReceiver>> rxs;
+  std::vector<std::unique_ptr<apps::BulkSender>> txs;
+  for (int i = 0; i < o.nics; ++i) {
+    auto* rx_app = tb.peer().add_app("rx" + std::to_string(i));
+    apps::BulkReceiver::Config rc; rc.port = 5001 + i; rc.record_series = false;
+    rxs.push_back(std::make_unique<apps::BulkReceiver>(tb.peer(), rx_app, rc));
+    rxs.back()->start();
+    auto* tx_app = tb.newtos().add_app("tx" + std::to_string(i));
+    apps::BulkSender::Config sc; sc.dst = tb.newtos().peer_addr(i); sc.port = 5001 + i;
+    txs.push_back(std::make_unique<apps::BulkSender>(tb.newtos(), tx_app, sc));
+    txs.back()->start();
+  }
+  std::vector<std::uint64_t> prev(o.nics, 0);
+  for (int ms = 200; ms <= 1400; ms += 300) {
+    tb.run_until(ms * sim::kMillisecond);
+    std::printf("t=%dms per-link Mbps:", ms);
+    for (int i = 0; i < o.nics; ++i) {
+      std::printf(" %.0f", (rxs[i]->bytes() - prev[i]) * 8.0 / (0.3) / 1e6);
+      prev[i] = rxs[i]->bytes();
+    }
+    auto* tcp = tb.newtos().tcp_engine();
+    std::printf(" | retx=%llu rtos=%llu fr=%llu ooo(peer)=%llu",
+                (unsigned long long)tcp->stats().bytes_retx,
+                (unsigned long long)tcp->stats().rtos,
+                (unsigned long long)tcp->stats().fast_retransmits,
+                (unsigned long long)tb.peer().tcp_engine()->stats().ooo_dropped);
+    auto* stack = tb.newtos().stack_server();
+    if (stack) std::printf(" stack_busy=%.2f", stack->core().utilization(ms * sim::kMillisecond));
+    std::printf("\n");
+  }
+  for (int i = 0; i < o.nics; ++i) {
+    auto& nic = *tb.newtos().nic(i);
+    std::printf("nic%d: tx=%llu descs=%llu ringfull=%llu nobuf=%llu wireutil=%.2f\n",
+                i, (unsigned long long)nic.stats().tx_frames,
+                (unsigned long long)nic.stats().tx_descs,
+                (unsigned long long)nic.stats().tx_ring_full,
+                (unsigned long long)nic.stats().rx_no_buffer,
+                tb.wire(i).utilization(0, tb.sim().now()));
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include <cstdio>
+#include "src/core/apps.h"
+#include "src/core/testbed.h"
+using namespace newtos;
+int main() {
+  TestbedOptions o;
+  o.mode = StackMode::kIdealMonolithic; o.nics = 1; o.tso = true;
+  o.gbps = 10.0; o.app_write_size = 65536; o.cost_scale = 0.4;
+  Testbed tb(o);
+  auto* rx_app = tb.peer().add_app("rx");
+  apps::BulkReceiver::Config rc; rc.record_series = false;
+  apps::BulkReceiver rx(tb.peer(), rx_app, rc); rx.start();
+  auto* tx_app = tb.newtos().add_app("tx");
+  apps::BulkSender::Config sc; sc.dst = tb.newtos().peer_addr(0); sc.write_size = 65536;
+  apps::BulkSender tx(tb.newtos(), tx_app, sc); tx.start();
+  std::uint64_t prev = 0;
+  for (int ms = 100; ms <= 1000; ms += 150) {
+    tb.run_until(ms * sim::kMillisecond);
+    auto* t = tb.newtos().tcp_engine();
+    auto* pt = tb.peer().tcp_engine();
+    std::printf("t=%d Mbps=%.0f retx=%llu rtos=%llu fr=%llu peer_ooo=%llu conn=%s\n",
+      ms, (rx.bytes()-prev)*8.0/0.15/1e6,
+      (unsigned long long)t->stats().bytes_retx, (unsigned long long)t->stats().rtos,
+      (unsigned long long)t->stats().fast_retransmits,
+      (unsigned long long)pt->stats().ooo_dropped,
+      t->connection_count() ? t->debug(1).c_str() : "-");
+    prev = rx.bytes();
+  }
+  auto& nic = *tb.newtos().nic(0); auto& pnic = *tb.peer().nic(0);
+  std::printf("dutnic tx=%llu nobuf=%llu | peernic rx=%llu nobuf=%llu\n",
+    (unsigned long long)nic.stats().tx_frames, (unsigned long long)nic.stats().rx_no_buffer,
+    (unsigned long long)pnic.stats().rx_frames, (unsigned long long)pnic.stats().rx_no_buffer);
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include <cstdio>
+#include "src/core/apps.h"
+#include "src/core/fault_injection.h"
+#include "src/core/testbed.h"
+using namespace newtos;
+int main() {
+  TestbedOptions o; o.mode = StackMode::kSplitSyscall; o.pf_filler_rules = 64;
+  Testbed tb(o);
+  auto* rx_app = tb.peer().add_app("rx");
+  apps::BulkReceiver::Config rc; rc.record_series = false;
+  apps::BulkReceiver rx(tb.peer(), rx_app, rc); rx.start();
+  auto* tx_app = tb.newtos().add_app("tx");
+  apps::BulkSender::Config sc; sc.dst = tb.newtos().peer_addr(0);
+  apps::BulkSender tx(tb.newtos(), tx_app, sc); tx.start();
+  FaultInjector f(tb.newtos(), 7);
+  f.inject_at(2 * sim::kSecond, servers::kIpName, FaultType::Crash);
+  std::uint64_t prev = 0;
+  for (int ms = 1000; ms <= 12000; ms += 1000) {
+    tb.run_until(ms * sim::kMillisecond);
+    auto* t = tb.newtos().tcp_engine();
+    std::printf("t=%ds Mbps=%.0f conn=%s\n", ms/1000, (rx.bytes()-prev)*8.0/1e9*1e3,
+                (t && t->connection_count()) ? t->debug(1).c_str() : "-");
+    prev = rx.bytes();
+  }
+  auto& nic = *tb.newtos().nic(0);
+  std::printf("nic: resets=%llu link=%d tx=%llu nobuf=%llu\n",
+              (unsigned long long)nic.stats().resets, nic.link_up(),
+              (unsigned long long)nic.stats().tx_frames,
+              (unsigned long long)nic.stats().rx_no_buffer);
+  auto* ip = tb.newtos().ip_engine();
+  if (ip) std::printf("ip: tx_segs=%llu tx_pend=%zu rx=%llu deliv=%llu arp_to=%llu\n",
+    (unsigned long long)ip->stats().tx_segs, ip->tx_pending(),
+    (unsigned long long)ip->stats().rx_frames,
+    (unsigned long long)ip->stats().rx_delivered,
+    (unsigned long long)ip->stats().dropped_arp_timeout);
+  return 0;
+}

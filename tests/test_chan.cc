@@ -1,0 +1,286 @@
+// Unit tests: channels — SPSC rings (incl. a real-thread stress test),
+// pools with rich pointers, request database, registry and channel manager.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/chan/channel.h"
+#include "src/chan/pool.h"
+#include "src/chan/registry.h"
+#include "src/chan/request_db.h"
+#include "src/chan/spsc_ring.h"
+
+using namespace newtos::chan;
+
+// --- SPSC ring -----------------------------------------------------------------------
+
+TEST(SpscRing, FifoOrder) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(i));
+  int out;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(SpscRing, FullRejectsWithoutBlocking) {
+  SpscRing<int> ring(4);
+  int pushed = 0;
+  while (ring.try_push(pushed)) ++pushed;
+  EXPECT_GE(pushed, 4);
+  int out;
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_TRUE(ring.try_push(99));  // slot freed
+}
+
+TEST(SpscRing, SizeTracksOccupancy) {
+  SpscRing<int> ring(16);
+  EXPECT_TRUE(ring.empty());
+  ring.try_push(1);
+  ring.try_push(2);
+  EXPECT_EQ(ring.size(), 2u);
+  int out;
+  ring.try_pop(out);
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(SpscRing, ResetDropsContents) {
+  SpscRing<int> ring(8);
+  ring.try_push(1);
+  ring.reset();
+  EXPECT_TRUE(ring.empty());
+  int out;
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+// Real-concurrency property: with one producer and one consumer thread, all
+// items arrive exactly once, in order, with no locks anywhere.
+TEST(SpscRing, ConcurrentStressPreservesFifo) {
+  constexpr std::uint64_t kItems = 200000;
+  SpscRing<std::uint64_t> ring(1024);
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      while (!ring.try_push(i)) {
+      }
+    }
+  });
+  std::uint64_t expect = 0;
+  while (expect < kItems) {
+    std::uint64_t v;
+    if (ring.try_pop(v)) {
+      ASSERT_EQ(v, expect);
+      ++expect;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+// --- Pool ------------------------------------------------------------------------------
+
+TEST(Pool, AllocWriteReadRoundTrip) {
+  Pool pool(1, "t", 1 << 16);
+  RichPtr p = pool.alloc(100);
+  ASSERT_TRUE(p.valid());
+  EXPECT_EQ(p.length, 100u);
+  auto w = pool.write_view(p);
+  w[0] = std::byte{42};
+  w[99] = std::byte{7};
+  auto r = pool.read_view(p);
+  EXPECT_EQ(std::to_integer<int>(r[0]), 42);
+  EXPECT_EQ(std::to_integer<int>(r[99]), 7);
+}
+
+TEST(Pool, ExhaustionReturnsNull) {
+  Pool pool(1, "t", 256);
+  RichPtr a = pool.alloc(128);
+  RichPtr b = pool.alloc(128);
+  RichPtr c = pool.alloc(128);
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_FALSE(c.valid());
+  EXPECT_EQ(pool.failed_allocs(), 1u);
+}
+
+TEST(Pool, FreeListRecyclesChunks) {
+  Pool pool(1, "t", 1 << 12);
+  RichPtr a = pool.alloc(1000);
+  pool.release(a);
+  RichPtr b = pool.alloc(1000);  // should reuse the freed slot
+  EXPECT_EQ(b.offset, a.offset);
+  // Many alloc/free cycles never exhaust a pool with one live chunk.
+  for (int i = 0; i < 10000; ++i) {
+    RichPtr p = pool.alloc(1000);
+    ASSERT_TRUE(p.valid());
+    pool.release(p);
+  }
+}
+
+TEST(Pool, RefcountsDelayFree) {
+  Pool pool(1, "t", 1 << 12);
+  RichPtr p = pool.alloc(64);
+  pool.addref(p);
+  EXPECT_FALSE(pool.release(p));  // one ref left
+  EXPECT_TRUE(pool.live(p));
+  EXPECT_TRUE(pool.release(p));
+  EXPECT_FALSE(pool.live(p));
+}
+
+TEST(Pool, ResetInvalidatesOldGeneration) {
+  Pool pool(1, "t", 1 << 12);
+  RichPtr p = pool.alloc(64);
+  pool.reset();
+  EXPECT_FALSE(pool.live(p));
+  EXPECT_TRUE(pool.read_view(p).empty());   // stale pointer reads nothing
+  EXPECT_FALSE(pool.release(p));            // stale frees are no-ops
+  RichPtr q = pool.alloc(64);
+  EXPECT_NE(q.generation, p.generation);
+}
+
+TEST(Pool, BytesLiveAccounting) {
+  Pool pool(1, "t", 1 << 14);
+  RichPtr a = pool.alloc(100);
+  RichPtr b = pool.alloc(200);
+  EXPECT_EQ(pool.bytes_live(), 300u);
+  pool.release(a);
+  EXPECT_EQ(pool.bytes_live(), 200u);
+  pool.release(b);
+  EXPECT_EQ(pool.bytes_live(), 0u);
+}
+
+TEST(PoolRegistry, ResolvesAcrossPools) {
+  PoolRegistry reg;
+  Pool& a = reg.create("alice", "buf", 4096);
+  Pool& b = reg.create("bob", "buf", 4096);
+  EXPECT_NE(a.id(), b.id());
+  RichPtr p = a.alloc(32);
+  a.write_view(p)[0] = std::byte{9};
+  EXPECT_EQ(std::to_integer<int>(reg.read(p)[0]), 9);
+  RichPtr bogus{999, 0, 32, 1};
+  EXPECT_TRUE(reg.read(bogus).empty());
+}
+
+TEST(Pool, DmaWriteRespectsBounds) {
+  Pool pool(1, "t", 4096);
+  RichPtr p = pool.alloc(64);
+  std::vector<std::byte> small(64, std::byte{5});
+  EXPECT_TRUE(pool.dma_write(p, small));
+  std::vector<std::byte> big(65, std::byte{5});
+  EXPECT_FALSE(pool.dma_write(p, big));
+  pool.reset();
+  EXPECT_FALSE(pool.dma_write(p, small));  // stale generation
+}
+
+// --- Queue + doorbell ---------------------------------------------------------------------
+
+TEST(Queue, DoorbellFiresOnceOnSend) {
+  Queue q("t", 16);
+  int rings = 0;
+  q.doorbell().arm([&] { ++rings; });
+  Message m;
+  q.try_send(m);
+  q.try_send(m);  // bell consumed by first send
+  EXPECT_EQ(rings, 1);
+  q.doorbell().arm([&] { ++rings; });
+  q.try_send(m);
+  EXPECT_EQ(rings, 2);
+}
+
+TEST(Queue, CountsFailures) {
+  Queue q("t", 2);
+  Message m;
+  while (q.try_send(m)) {
+  }
+  EXPECT_GE(q.send_failures(), 1u);
+}
+
+// --- Request database ------------------------------------------------------------------------
+
+TEST(RequestDb, CompleteReturnsCookie) {
+  RequestDb db;
+  const auto id = db.add("ip", 0xdead, {});
+  std::uint64_t cookie = 0;
+  EXPECT_TRUE(db.complete(id, &cookie));
+  EXPECT_EQ(cookie, 0xdeadu);
+  EXPECT_FALSE(db.complete(id));  // stale replies are rejected
+}
+
+TEST(RequestDb, AbortPeerRunsActionsInOrder) {
+  RequestDb db;
+  std::vector<std::uint64_t> aborted;
+  auto record = [&](std::uint64_t, std::uint64_t cookie) {
+    aborted.push_back(cookie);
+  };
+  db.add("ip", 1, record);
+  db.add("pf", 2, record);
+  db.add("ip", 3, record);
+  EXPECT_EQ(db.abort_peer("ip"), 2u);
+  EXPECT_EQ(aborted, (std::vector<std::uint64_t>{1, 3}));
+  EXPECT_EQ(db.size(), 1u);  // the pf request survives
+}
+
+TEST(RequestDb, AbortActionMayResubmit) {
+  RequestDb db;
+  int aborts = 0;
+  db.add("ip", 1, [&](std::uint64_t, std::uint64_t) {
+    ++aborts;
+    db.add("ip", 2, {});  // resubmission from within an abort action
+  });
+  EXPECT_EQ(db.abort_peer("ip"), 1u);
+  EXPECT_EQ(aborts, 1);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+// --- Registry / channel manager ------------------------------------------------------------------
+
+TEST(Registry, SubscribeAfterPublishReplays) {
+  Registry reg;
+  reg.publish("k", Published{"alice", 7});
+  int ups = 0;
+  bool was_replay = false;
+  reg.subscribe("k", [&](const std::string&, const Published& p, bool up,
+                         bool replay) {
+    ++ups;
+    was_replay = replay;
+    EXPECT_TRUE(up);
+    EXPECT_EQ(p.value, 7u);
+  });
+  EXPECT_EQ(ups, 1);
+  EXPECT_TRUE(was_replay);
+}
+
+TEST(Registry, LiveTransitionsAreNotReplays) {
+  Registry reg;
+  int downs = 0;
+  bool live_seen = false;
+  reg.subscribe("k", [&](const std::string&, const Published&, bool up,
+                         bool replay) {
+    if (up && !replay) live_seen = true;
+    if (!up) ++downs;
+  });
+  reg.publish("k", Published{"alice", 1});
+  EXPECT_TRUE(live_seen);
+  reg.unpublish("k");
+  EXPECT_EQ(downs, 1);
+  EXPECT_FALSE(reg.lookup("k").has_value());
+}
+
+TEST(ChannelManager, CredentialsAreChecked) {
+  ChannelManager mgr;
+  Queue q("t", 8);
+  const auto cred = mgr.export_queue("tcp", "ip", &q);
+  EXPECT_EQ(mgr.attach("ip", cred), &q);
+  EXPECT_EQ(mgr.attach("mallory", cred), nullptr);  // wrong grantee
+  EXPECT_EQ(mgr.attach("ip", cred + 1000), nullptr);  // bogus credential
+}
+
+TEST(ChannelManager, RevokeAllInvalidatesCreatorGrants) {
+  ChannelManager mgr;
+  Queue q("t", 8);
+  const auto cred = mgr.export_queue("tcp", "ip", &q);
+  EXPECT_EQ(mgr.revoke_all("tcp"), 1u);
+  EXPECT_EQ(mgr.attach("ip", cred), nullptr);
+}
