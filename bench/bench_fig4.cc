@@ -53,5 +53,17 @@ int main() {
       tcp.connection_count() > 0 ? "yes" : "NO",
       static_cast<unsigned long long>(tb.newtos().nic(0)->stats().resets),
       static_cast<unsigned long long>(tcp.stats().bytes_retx));
+  // Messages dropped/deferred at full channel queues during the outage
+  // (the Section IV-A drop policy), per queue.
+  std::printf("# channel send failures: %llu\n",
+              static_cast<unsigned long long>(
+                  tb.newtos().publish_channel_stats()));
+  for (const auto& [name, value] : tb.newtos().stats().counters()) {
+    if (name.rfind("chan.", 0) == 0 && name != "chan.send_failures" &&
+        value > 0) {
+      std::printf("#   %s = %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
   return 0;
 }

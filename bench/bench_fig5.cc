@@ -59,5 +59,8 @@ int main() {
       static_cast<unsigned long long>(
           tb.newtos().reincarnation()->child_stats().at(servers::kPfName)
               .restarts));
+  std::printf("# channel send failures: %llu\n",
+              static_cast<unsigned long long>(
+                  tb.newtos().publish_channel_stats()));
   return 0;
 }

@@ -35,9 +35,11 @@ int main() {
   apps::BulkReceiver receiver(tb.peer(), rx_app, rcfg);
   receiver.start();
 
-  // ...and a sender on NewtOS.  Applications are event-driven actors: the
-  // SocketApi turns their calls into kernel IPC to the SYSCALL server,
-  // which forwards them over channels (Section V-B).
+  // ...and a sender on NewtOS.  Applications are event-driven actors over
+  // the object socket API (TcpSocket/TcpListener): control ops queue into
+  // the app's submission ring and one kernel-IPC trap flushes the batch to
+  // the SYSCALL server, which forwards it over channels (Section V-B); the
+  // payload bytes go straight into the exported socket buffers.
   AppActor* tx_app = tb.newtos().add_app("sender");
   apps::BulkSender::Config scfg;
   scfg.dst = tb.newtos().peer_addr(0);
@@ -57,5 +59,15 @@ int main() {
               static_cast<unsigned long long>(tcp.stats().segs_out),
               static_cast<unsigned long long>(tcp.stats().bytes_retx));
   std::printf("connection state: %s\n", tcp.debug(1).c_str());
+
+  const auto& st = tb.newtos().stats();
+  const std::uint64_t ops = st.get("sockring.ops");
+  const std::uint64_t bells = st.get("sockring.doorbells");
+  std::printf("socket rings: %llu ops in %llu doorbells (%.1f ops/trap)\n",
+              static_cast<unsigned long long>(ops),
+              static_cast<unsigned long long>(bells),
+              bells == 0 ? 0.0
+                         : static_cast<double>(ops) /
+                               static_cast<double>(bells));
   return 0;
 }

@@ -16,23 +16,15 @@ void BulkSender::start() {
 }
 
 void BulkSender::open_and_connect(sim::Context&) {
-  SocketApi& api = node_.sockets();
-  api.open(*app_, 'T', [this](SocketApi::Handle h) {
-    if (!h.valid()) {
+  sock_ = std::make_unique<TcpSocket>(*app_);
+  sock_->on_event([this](net::TcpEvent ev) { on_event(ev); });
+  // open + connect ride the same submission-ring flush: two ops, one trap.
+  sock_->connect(cfg_.dst, cfg_.port, [this](bool ok) {
+    if (!ok) {
+      sock_.reset();
       app_->call_after(100 * sim::kMillisecond,
                        [this](sim::Context& ctx) { open_and_connect(ctx); });
-      return;
     }
-    h_ = h;
-    node_.sockets().set_event_handler(
-        h_, app_, [this](net::TcpEvent ev) { on_event(ev); });
-    node_.sockets().connect(*app_, h_, cfg_.dst, cfg_.port, [this](bool ok) {
-      if (!ok) {
-        app_->call_after(100 * sim::kMillisecond, [this](sim::Context& ctx) {
-          open_and_connect(ctx);
-        });
-      }
-    });
   });
 }
 
@@ -50,8 +42,10 @@ void BulkSender::on_event(net::TcpEvent ev) {
     case net::TcpEvent::Closed:
       connected_ = false;
       node_.stats().add(cfg_.prefix + ".resets");
-      node_.sockets().clear_event_handler(h_);
-      h_ = {};
+      // Destroying the socket drops any still-in-flight send completions,
+      // so their counts die with it.
+      sock_.reset();
+      outstanding_ = 0;
       app_->call_after(200 * sim::kMillisecond,
                        [this](sim::Context& ctx) { open_and_connect(ctx); });
       break;
@@ -61,9 +55,8 @@ void BulkSender::on_event(net::TcpEvent ev) {
 }
 
 void BulkSender::pump(sim::Context&) {
-  if (!connected_) return;
-  SocketApi& api = node_.sockets();
-  if (outstanding_ == 0 && api.send_space(h_) < cfg_.write_size &&
+  if (!connected_ || !sock_) return;
+  if (outstanding_ == 0 && sock_->send_space() < cfg_.write_size &&
       !retry_scheduled_) {
     // Send buffer full with nothing in flight: poll until ACKs free space
     // (the Writable event only fires after a failed send).
@@ -74,10 +67,12 @@ void BulkSender::pump(sim::Context&) {
     });
     return;
   }
+  // Every send queued by this loop joins ONE ring flush — up to
+  // max_outstanding write submissions per kernel-IPC trap.
   while (outstanding_ < cfg_.max_outstanding &&
-         api.send_space(h_) >= cfg_.write_size) {
+         sock_->send_space() >= cfg_.write_size) {
     ++outstanding_;
-    api.send(*app_, h_, cfg_.write_size, [this](bool ok) {
+    sock_->send(cfg_.write_size, [this](bool ok) {
       --outstanding_;
       if (ok) {
         node_.stats().add(cfg_.prefix + ".bytes", cfg_.write_size);
@@ -102,18 +97,11 @@ BulkReceiver::BulkReceiver(Node& node, AppActor* app, Config cfg)
 
 void BulkReceiver::start() {
   app_->call([this](sim::Context&) {
-    SocketApi& api = node_.sockets();
-    api.open(*app_, 'T', [this](SocketApi::Handle h) {
-      if (!h.valid()) return;
-      listener_ = h;
-      SocketApi& api2 = node_.sockets();
-      api2.set_event_handler(listener_, app_, [this](net::TcpEvent ev) {
-        on_listener_event(ev);
-      });
-      api2.bind(*app_, listener_, net::Ipv4Addr{}, cfg_.port, [this](bool) {
-        node_.sockets().listen(*app_, listener_, 16, [](bool) {});
-      });
-    });
+    listener_ = std::make_unique<TcpListener>(*app_);
+    listener_->on_event(
+        [this](net::TcpEvent ev) { on_listener_event(ev); });
+    // open + bind + listen: three ops, one flush, one trap.
+    listener_->bind_listen(net::Ipv4Addr{}, cfg_.port, 16, [](bool) {});
   });
   if (cfg_.record_series) {
     sample();  // kicks off the periodic bitrate sampler
@@ -132,33 +120,35 @@ void BulkReceiver::sample() {
   });
 }
 
+void BulkReceiver::remove_conn(TcpSocket* sock) {
+  std::erase_if(conns_, [sock](const auto& c) { return c.get() == sock; });
+}
+
 void BulkReceiver::on_listener_event(net::TcpEvent ev) {
   if (ev != net::TcpEvent::AcceptReady) return;
-  SocketApi& api = node_.sockets();
-  while (auto child = api.accept(*app_, listener_)) {
-    const SocketApi::Handle h = *child;
-    api.set_event_handler(h, app_, [this, h](net::TcpEvent cev) {
+  while (auto conn = listener_->accept()) {
+    TcpSocket* c = conn.get();
+    conn->on_event([this, c](net::TcpEvent cev) {
       if (cev == net::TcpEvent::Readable) {
-        drain(h, app_->cur());
+        drain(*c);
       } else if (cev == net::TcpEvent::Reset || cev == net::TcpEvent::Closed ||
                  cev == net::TcpEvent::PeerClosed) {
-        node_.sockets().clear_event_handler(h);
+        remove_conn(c);
       }
     });
-    drain(h, app_->cur());  // data may have landed before registration
+    conns_.push_back(std::move(conn));
+    drain(*c);  // data may have landed before registration
   }
 }
 
-void BulkReceiver::drain(SocketApi::Handle h, sim::Context& ctx) {
+void BulkReceiver::drain(TcpSocket& sock) {
   static thread_local std::vector<std::byte> scratch(64 * 1024);
-  SocketApi& api = node_.sockets();
   for (;;) {
-    const std::size_t n = api.recv(*app_, h, scratch);
+    const std::size_t n = sock.recv(scratch);
     if (n == 0) break;
     bytes_ += n;
     node_.stats().add(cfg_.prefix + ".bytes", n);
   }
-  (void)ctx;
 }
 
 // --- EchoServer ------------------------------------------------------------------------
@@ -168,46 +158,42 @@ EchoServer::EchoServer(Node& node, AppActor* app, Config cfg)
 
 void EchoServer::start() {
   app_->call([this](sim::Context&) {
-    SocketApi& api = node_.sockets();
-    api.open(*app_, 'T', [this](SocketApi::Handle h) {
-      if (!h.valid()) return;
-      listener_ = h;
-      SocketApi& api2 = node_.sockets();
-      api2.set_event_handler(listener_, app_, [this](net::TcpEvent ev) {
-        on_listener_event(ev);
-      });
-      api2.bind(*app_, listener_, net::Ipv4Addr{}, cfg_.port, [this](bool) {
-        node_.sockets().listen(*app_, listener_, 16, [](bool) {});
-      });
-    });
+    listener_ = std::make_unique<TcpListener>(*app_);
+    listener_->on_event(
+        [this](net::TcpEvent ev) { on_listener_event(ev); });
+    listener_->bind_listen(net::Ipv4Addr{}, cfg_.port, 16, [](bool) {});
   });
+}
+
+void EchoServer::remove_conn(TcpSocket* sock) {
+  std::erase_if(conns_, [sock](const auto& c) { return c.get() == sock; });
 }
 
 void EchoServer::on_listener_event(net::TcpEvent ev) {
   if (ev != net::TcpEvent::AcceptReady) return;
-  SocketApi& api = node_.sockets();
-  while (auto child = api.accept(*app_, listener_)) {
-    const SocketApi::Handle h = *child;
+  while (auto conn = listener_->accept()) {
+    TcpSocket* c = conn.get();
     node_.stats().add(cfg_.prefix + ".accepted");
-    api.set_event_handler(h, app_, [this, h](net::TcpEvent cev) {
+    conn->on_event([this, c](net::TcpEvent cev) {
       if (cev == net::TcpEvent::Readable) {
-        serve(h, app_->cur());
+        serve(*c);
       } else if (cev == net::TcpEvent::Reset || cev == net::TcpEvent::Closed ||
                  cev == net::TcpEvent::PeerClosed) {
-        node_.sockets().clear_event_handler(h);
+        remove_conn(c);
       }
     });
-    serve(h, app_->cur());
+    conns_.push_back(std::move(conn));
+    serve(*c);
   }
 }
 
-void EchoServer::serve(SocketApi::Handle h, sim::Context&) {
+void EchoServer::serve(TcpSocket& sock) {
   static thread_local std::vector<std::byte> scratch(4096);
-  SocketApi& api = node_.sockets();
+  // The replies queued by this loop batch into one submission flush.
   for (;;) {
-    const std::size_t n = api.recv(*app_, h, scratch);
+    const std::size_t n = sock.recv(scratch);
     if (n == 0) break;
-    api.send(*app_, h, static_cast<std::uint32_t>(n), [](bool) {});
+    sock.send(static_cast<std::uint32_t>(n), {});
   }
 }
 
@@ -224,29 +210,18 @@ void EchoClient::start() {
 }
 
 void EchoClient::connect_now(sim::Context&) {
-  SocketApi& api = node_.sockets();
-  api.open(*app_, 'T', [this](SocketApi::Handle h) {
-    if (!h.valid()) {
+  sock_ = std::make_unique<TcpSocket>(*app_);
+  sock_->on_event([this](net::TcpEvent ev) { on_event(ev); });
+  sock_->connect(cfg_.dst, cfg_.port, [this](bool ok) {
+    if (!ok) {
+      sock_.reset();
       app_->call_after(cfg_.reconnect_backoff,
                        [this](sim::Context& ctx) { connect_now(ctx); });
-      return;
     }
-    h_ = h;
-    node_.sockets().set_event_handler(
-        h_, app_, [this](net::TcpEvent ev) { on_event(ev); });
-    node_.sockets().connect(*app_, h_, cfg_.dst, cfg_.port, [this](bool ok) {
-      if (!ok) {
-        node_.sockets().clear_event_handler(h_);
-        h_ = {};
-        app_->call_after(cfg_.reconnect_backoff,
-                         [this](sim::Context& ctx) { connect_now(ctx); });
-      }
-    });
   });
 }
 
 void EchoClient::on_event(net::TcpEvent ev) {
-  SocketApi& api = node_.sockets();
   switch (ev) {
     case net::TcpEvent::Connected:
       if (connected_) break;
@@ -256,7 +231,7 @@ void EchoClient::on_event(net::TcpEvent ev) {
       break;
     case net::TcpEvent::Readable: {
       static thread_local std::vector<std::byte> scratch(512);
-      while (api.recv(*app_, h_, scratch) > 0) {
+      while (sock_ && sock_->recv(scratch) > 0) {
       }
       if (awaiting_reply_) {
         awaiting_reply_ = false;
@@ -274,8 +249,7 @@ void EchoClient::on_event(net::TcpEvent ev) {
       }
       connected_ = false;
       awaiting_reply_ = false;
-      api.clear_event_handler(h_);
-      h_ = {};
+      sock_.reset();
       app_->call_after(cfg_.reconnect_backoff,
                        [this](sim::Context& ctx) { connect_now(ctx); });
       break;
@@ -285,7 +259,7 @@ void EchoClient::on_event(net::TcpEvent ev) {
 }
 
 void EchoClient::tick(sim::Context&) {
-  if (connected_ && h_.valid()) {
+  if (connected_ && sock_ && sock_->valid()) {
     if (awaiting_reply_) {
       // Previous request unanswered within the interval: count a timeout
       // once it exceeds cfg_.timeout (intervals since send).
@@ -295,7 +269,7 @@ void EchoClient::tick(sim::Context&) {
     } else {
       ++seq_sent_;
       awaiting_reply_ = true;
-      node_.sockets().send(*app_, h_, 128, [this](bool ok) {
+      sock_->send(128, [this](bool ok) {
         if (!ok) awaiting_reply_ = false;
       });
     }
@@ -310,21 +284,16 @@ DnsServer::DnsServer(Node& node, AppActor* app, std::uint16_t port)
 
 void DnsServer::start() {
   app_->call([this](sim::Context&) {
-    SocketApi& api = node_.sockets();
-    api.open(*app_, 'U', [this](SocketApi::Handle h) {
-      if (!h.valid()) return;
-      h_ = h;
-      SocketApi& api2 = node_.sockets();
-      api2.set_event_handler(h_, app_, [this](net::TcpEvent) {
-        SocketApi& api3 = node_.sockets();
-        while (auto d = api3.recvfrom(*app_, h_)) {
-          api3.sendto(*app_, h_,
-                      static_cast<std::uint32_t>(d->data.size()), d->src,
-                      d->sport, [](bool) {});
-        }
-      });
-      api2.bind(*app_, h_, net::Ipv4Addr{}, port_, [](bool) {});
+    sock_ = std::make_unique<UdpSocket>(*app_);
+    sock_->on_event([this](net::TcpEvent) {
+      // Every response queued by this loop batches into one flush.
+      while (auto d = sock_->recvfrom()) {
+        sock_->sendto(static_cast<std::uint32_t>(d->data.size()), d->src,
+                      d->sport, {});
+      }
     });
+    // open + bind: one flush.
+    sock_->bind(net::Ipv4Addr{}, port_, [](bool) {});
   });
 }
 
@@ -333,33 +302,26 @@ DnsClient::DnsClient(Node& node, AppActor* app, Config cfg)
 
 void DnsClient::start() {
   app_->call([this](sim::Context&) {
-    SocketApi& api = node_.sockets();
-    api.open(*app_, 'U', [this](SocketApi::Handle h) {
-      if (!h.valid()) return;
-      h_ = h;
-      SocketApi& api2 = node_.sockets();
-      api2.set_event_handler(h_, app_, [this](net::TcpEvent) {
-        SocketApi& api3 = node_.sockets();
-        while (api3.recvfrom(*app_, h_)) {
-          ++answered_;
-          node_.stats().add(cfg_.prefix + ".answered");
-        }
-      });
-      api2.connect(*app_, h_, cfg_.dst, cfg_.port, [this](bool ok) {
-        ready_ = ok;
-      });
+    sock_ = std::make_unique<UdpSocket>(*app_);
+    sock_->on_event([this](net::TcpEvent) {
+      while (sock_->recvfrom()) {
+        ++answered_;
+        node_.stats().add(cfg_.prefix + ".answered");
+      }
     });
+    // open + connect: one flush.
+    sock_->connect(cfg_.dst, cfg_.port, [this](bool ok) { ready_ = ok; });
   });
   app_->call_after(cfg_.interval, [this](sim::Context& ctx) { tick(ctx); });
 }
 
 void DnsClient::tick(sim::Context&) {
-  if (ready_ && h_.valid()) {
+  if (ready_ && sock_ && sock_->valid()) {
     ++sent_;
     node_.stats().add(cfg_.prefix + ".sent");
     // The socket is connected; sendto with a zero address uses the preset
     // peer (the remote resolver).
-    node_.sockets().sendto(*app_, h_, 64, net::Ipv4Addr{}, 0, [](bool) {});
+    sock_->sendto(64, net::Ipv4Addr{}, 0, [](bool) {});
   }
   app_->call_after(cfg_.interval, [this](sim::Context& ctx) { tick(ctx); });
 }

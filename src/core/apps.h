@@ -6,12 +6,17 @@
 //                             active ssh connections kept working ...").
 //  - DnsClient/DnsServer:     the periodic UDP DNS queries of the campaign.
 //
-// All are event-driven actors over SocketApi; they publish their results
-// through the node's StatsHub.
+// All are event-driven actors over the object socket API (TcpSocket /
+// UdpSocket / TcpListener): every control op they issue inside one handler
+// turn rides a single submission-ring flush — BulkSender's in-flight
+// writes, EchoServer's echo replies, DnsServer's responses all batch for
+// free.  They publish their results through the node's StatsHub.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "src/core/socket.h"
 
@@ -45,7 +50,7 @@ class BulkSender {
   Node& node_;
   AppActor* app_;
   Config cfg_;
-  SocketApi::Handle h_;
+  std::unique_ptr<TcpSocket> sock_;
   bool connected_ = false;
   int outstanding_ = 0;
   bool retry_scheduled_ = false;
@@ -67,13 +72,15 @@ class BulkReceiver {
 
  private:
   void on_listener_event(net::TcpEvent ev);
-  void drain(SocketApi::Handle h, sim::Context& ctx);
+  void drain(TcpSocket& sock);
+  void remove_conn(TcpSocket* sock);
   void sample();
 
   Node& node_;
   AppActor* app_;
   Config cfg_;
-  SocketApi::Handle listener_;
+  std::unique_ptr<TcpListener> listener_;
+  std::vector<std::unique_ptr<TcpSocket>> conns_;
   std::uint64_t bytes_ = 0;
   std::uint64_t last_sample_bytes_ = 0;
 };
@@ -90,12 +97,14 @@ class EchoServer {
 
  private:
   void on_listener_event(net::TcpEvent ev);
-  void serve(SocketApi::Handle h, sim::Context& ctx);
+  void serve(TcpSocket& sock);
+  void remove_conn(TcpSocket* sock);
 
   Node& node_;
   AppActor* app_;
   Config cfg_;
-  SocketApi::Handle listener_;
+  std::unique_ptr<TcpListener> listener_;
+  std::vector<std::unique_ptr<TcpSocket>> conns_;
 };
 
 class EchoClient {
@@ -127,7 +136,7 @@ class EchoClient {
   Node& node_;
   AppActor* app_;
   Config cfg_;
-  SocketApi::Handle h_;
+  std::unique_ptr<TcpSocket> sock_;
   bool connected_ = false;
   bool awaiting_reply_ = false;
   std::uint64_t seq_sent_ = 0;
@@ -147,7 +156,7 @@ class DnsServer {
   Node& node_;
   AppActor* app_;
   std::uint16_t port_;
-  SocketApi::Handle h_;
+  std::unique_ptr<UdpSocket> sock_;
 };
 
 class DnsClient {
@@ -171,7 +180,7 @@ class DnsClient {
   Node& node_;
   AppActor* app_;
   Config cfg_;
-  SocketApi::Handle h_;
+  std::unique_ptr<UdpSocket> sock_;
   bool ready_ = false;
   std::uint64_t sent_ = 0;
   std::uint64_t answered_ = 0;

@@ -1,5 +1,6 @@
 #include "src/core/node.h"
 
+#include "src/core/socket_ring.h"
 #include "src/servers/driver_server.h"
 
 namespace newtos {
@@ -262,9 +263,23 @@ void Node::boot() {
 AppActor* Node::add_app(const std::string& name) {
   auto app = std::make_unique<AppActor>(&env_, name, fresh_core(name));
   AppActor* p = app.get();
+  p->attach_ring(std::make_unique<SocketRing>(*this, *p));
   apps_.push_back(std::move(app));
   p->boot(false);
   return p;
+}
+
+std::uint64_t Node::publish_channel_stats() {
+  std::uint64_t total = 0;
+  for (const auto& [name, q] : queues_) {
+    const std::uint64_t failures = q->send_failures();
+    if (failures > 0) {
+      stats_.set("chan." + name + ".send_failures", failures);
+    }
+    total += failures;
+  }
+  stats_.set("chan.send_failures", total);
+  return total;
 }
 
 servers::Server* Node::server(const std::string& name) {

@@ -48,8 +48,15 @@ class Node {
   net::Ipv4Addr peer_addr(int nic_index) const;  // the other host's address
 
   // --- applications ------------------------------------------------------------------
+  // Creates an application actor, attaches its submission/completion ring
+  // (see src/core/socket_ring.h) and boots it.
   AppActor* add_app(const std::string& name);
   SocketApi& sockets() { return *sockets_; }
+
+  // Publishes per-queue "chan.<queue>.send_failures" counters (plus the
+  // "chan.send_failures" total) into stats() and returns the total — the
+  // Section IV-A drop/defer policy made visible instead of silent.
+  std::uint64_t publish_channel_stats();
 
   // --- servers -------------------------------------------------------------------------
   servers::Server* server(const std::string& name);

@@ -1,5 +1,7 @@
 #include "src/core/socket.h"
 
+#include <utility>
+
 #include "src/core/node.h"
 #include "src/servers/proto.h"
 
@@ -9,8 +11,14 @@ AppActor::AppActor(servers::NodeEnv* env, std::string name,
                    sim::SimCore* core)
     : Server(env, std::move(name), core) {}
 
+AppActor::~AppActor() = default;
+
 void AppActor::set_main(std::function<void(sim::Context&)> main) {
   main_ = std::move(main);
+}
+
+void AppActor::attach_ring(std::unique_ptr<SocketRing> ring) {
+  ring_ = std::move(ring);
 }
 
 void AppActor::start(bool restart) {
@@ -31,157 +39,324 @@ void AppActor::call_after(sim::Time delay,
   });
 }
 
-// --- SocketApi --------------------------------------------------------------------
+// --- Socket (RAII base) ------------------------------------------------------------
+
+Socket::Socket(AppActor& app, char proto) : st_(std::make_shared<State>()) {
+  st_->app = &app;
+  st_->node = &app.ring().node();
+  st_->proto = proto;
+}
+
+Socket::Socket(AppActor& app, char proto, std::uint32_t adopt_id)
+    : Socket(app, proto) {
+  st_->id = adopt_id;
+}
+
+Socket::~Socket() { close({}); }
+
+SocketRing& Socket::ring() const { return st_->app->ring(); }
+
+void Socket::register_events(const std::shared_ptr<State>& st) {
+  if (st->id == 0 || !st->on_event) return;
+  st->node->sockets().set_event_handler(
+      SocketApi::Handle{st->proto, st->id}, st->app,
+      [st](net::TcpEvent ev) {
+        if (!st->closed && st->on_event) st->on_event(ev);
+      });
+}
+
+void Socket::on_event(SockEventFn fn) {
+  st_->on_event = std::move(fn);
+  register_events(st_);
+}
+
+SocketRing::CompletionFn Socket::status_cb(SockStatusFn cb) const {
+  if (!cb) return {};
+  return [st = st_, cb = std::move(cb)](const SockCqe& c) {
+    if (st->closed) return;
+    cb(c.ok);
+  };
+}
+
+void Socket::submit_ctl(SockSqe op, SocketRing::CompletionFn cb) {
+  if (st_->id != 0) {
+    op.sock = st_->id;
+    ring().enqueue(std::move(op), std::move(cb));
+    return;
+  }
+  if (!st_->opening) {
+    st_->opening = true;
+    SockSqe open;
+    open.opcode = servers::kSockOpen;
+    open.proto = st_->proto;
+    ring().enqueue(open, [st = st_](const SockCqe& c) {
+      st->opening = false;
+      if (c.ok && c.value != 0) {
+        st->id = static_cast<std::uint32_t>(c.value);
+      }
+      if (st->closed && st->id != 0) {
+        // The object died while the open was in flight: release the
+        // freshly created kernel socket right away.
+        SockSqe cl;
+        cl.opcode = servers::kSockClose;
+        cl.proto = st->proto;
+        cl.sock = st->id;
+        st->app->ring().enqueue(cl, {});
+        st->id = 0;
+      } else {
+        register_events(st);
+      }
+      // Replay held ops with the real id (0 when the open failed — the
+      // transport then fails them cleanly and the callbacks report it).
+      auto held = std::move(st->deferred);
+      st->deferred.clear();
+      for (auto& [hop, hcb] : held) {
+        hop.sock = st->id;
+        st->app->ring().enqueue(std::move(hop), std::move(hcb));
+      }
+    });
+    st_->open_cookie = ring().last_cookie();
+  }
+  if (ring().rides_next_flush(st_->open_cookie) &&
+      ring().last_open_cookie(st_->proto) == st_->open_cookie) {
+    // Our open is still in the SQ and is the latest of its protocol, so
+    // the nearest-preceding-open sentinel resolves to it in this batch.
+    op.sock = servers::kSockFromBatchOpen;
+    ring().enqueue(std::move(op), std::move(cb));
+    return;
+  }
+  // The open rode an earlier doorbell (or another socket opened after
+  // ours): hold the op and replay it with the real id on completion.
+  st_->deferred.emplace_back(std::move(op), std::move(cb));
+}
+
+void Socket::close(SockStatusFn cb) {
+  if (st_->closed) {
+    if (cb) cb(true);
+    return;
+  }
+  st_->closed = true;
+  if (st_->id != 0) {
+    node().sockets().clear_event_handler(
+        SocketApi::Handle{st_->proto, st_->id});
+    SockSqe op;
+    op.opcode = servers::kSockClose;
+    op.proto = st_->proto;
+    op.sock = st_->id;
+    // Deliver the close completion even though st_->closed is set.
+    SocketRing::CompletionFn done;
+    if (cb) {
+      done = [cb = std::move(cb)](const SockCqe& c) { cb(c.ok); };
+    }
+    ring().enqueue(op, std::move(done));
+    st_->id = 0;
+  } else if (cb) {
+    cb(true);
+  }
+  // An open still in flight is handled by its completion (see ensure_open).
+}
+
+// --- TcpSocket ---------------------------------------------------------------------
+
+TcpSocket::TcpSocket(AppActor& app) : Socket(app, 'T') {}
+
+TcpSocket::TcpSocket(AppActor& app, std::uint32_t accepted_id)
+    : Socket(app, 'T', accepted_id) {}
+
+void TcpSocket::connect(net::Ipv4Addr dst, std::uint16_t port,
+                        SockStatusFn cb) {
+  SockSqe op;
+  op.opcode = servers::kSockConnect;
+  op.proto = 'T';
+  op.arg0 = dst.value;
+  op.arg1 = port;
+  submit_ctl(op, status_cb(std::move(cb)));
+}
+
+void TcpSocket::send(std::uint32_t len, SockStatusFn cb) {
+  net::TcpEngine* eng = node().tcp_engine();
+  if (eng == nullptr) {
+    if (cb) app().call([cb](sim::Context&) { cb(false); });
+    return;
+  }
+  // The socket buffer is exported to the application (Section V-B): the app
+  // writes the payload into the transport's pool directly, paying the copy;
+  // only the submission descriptor rides the ring.
+  chan::RichPtr payload = eng->alloc_payload(len);
+  if (!payload.valid()) {
+    if (cb) app().call([cb](sim::Context&) { cb(false); });
+    return;
+  }
+  app().cur().charge(node().sim().costs().copy_cost(len));
+  SockSqe op;
+  op.opcode = servers::kSockSend;
+  op.proto = 'T';
+  op.payload = payload;
+  submit_ctl(op, status_cb(std::move(cb)));
+}
+
+std::size_t TcpSocket::send_space() const {
+  net::TcpEngine* eng = node().tcp_engine();
+  return eng == nullptr ? 0 : eng->send_space(st_->id);
+}
+
+std::size_t TcpSocket::recv(std::span<std::byte> out) {
+  return node().sockets().recv(app(), SocketApi::Handle{'T', st_->id}, out);
+}
+
+std::size_t TcpSocket::recv_available() const {
+  net::TcpEngine* eng = node().tcp_engine();
+  return eng == nullptr ? 0 : eng->recv_available(st_->id);
+}
+
+// --- TcpListener -------------------------------------------------------------------
+
+TcpListener::TcpListener(AppActor& app) : Socket(app, 'T') {}
+
+void TcpListener::bind_listen(net::Ipv4Addr addr, std::uint16_t port,
+                              int backlog, SockStatusFn cb) {
+  SockSqe b;
+  b.opcode = servers::kSockBind;
+  b.proto = 'T';
+  b.arg0 = addr.value;
+  b.arg1 = port;
+  auto bind_ok = std::make_shared<bool>(false);
+  submit_ctl(b, [bind_ok](const SockCqe& c) { *bind_ok = c.ok; });
+
+  SockSqe l;
+  l.opcode = servers::kSockListen;
+  l.proto = 'T';
+  l.arg0 = static_cast<std::uint64_t>(backlog);
+  // Completions arrive in submission order, so bind_ok is settled by the
+  // time the listen completes.
+  SocketRing::CompletionFn done;
+  if (cb) {
+    done = [st = st_, bind_ok, cb = std::move(cb)](const SockCqe& c) {
+      if (st->closed) return;
+      cb(c.ok && *bind_ok);
+    };
+  }
+  submit_ctl(l, std::move(done));
+}
+
+std::unique_ptr<TcpSocket> TcpListener::accept() {
+  auto child =
+      node().sockets().accept(app(), SocketApi::Handle{'T', st_->id});
+  if (!child) return nullptr;
+  return std::make_unique<TcpSocket>(app(), child->sock);
+}
+
+// --- UdpSocket ---------------------------------------------------------------------
+
+UdpSocket::UdpSocket(AppActor& app) : Socket(app, 'U') {}
+
+void UdpSocket::bind(net::Ipv4Addr addr, std::uint16_t port,
+                     SockStatusFn cb) {
+  SockSqe op;
+  op.opcode = servers::kSockBind;
+  op.proto = 'U';
+  op.arg0 = addr.value;
+  op.arg1 = port;
+  submit_ctl(op, status_cb(std::move(cb)));
+}
+
+void UdpSocket::connect(net::Ipv4Addr peer, std::uint16_t port,
+                        SockStatusFn cb) {
+  SockSqe op;
+  op.opcode = servers::kSockConnect;
+  op.proto = 'U';
+  op.arg0 = peer.value;
+  op.arg1 = port;
+  submit_ctl(op, status_cb(std::move(cb)));
+}
+
+void UdpSocket::sendto(std::uint32_t len, net::Ipv4Addr dst,
+                       std::uint16_t port, SockStatusFn cb) {
+  net::UdpEngine* eng = node().udp_engine();
+  if (eng == nullptr) {
+    if (cb) app().call([cb](sim::Context&) { cb(false); });
+    return;
+  }
+  chan::RichPtr payload = eng->alloc_payload(len);
+  if (!payload.valid()) {
+    if (cb) app().call([cb](sim::Context&) { cb(false); });
+    return;
+  }
+  app().cur().charge(node().sim().costs().copy_cost(len));
+  SockSqe op;
+  op.opcode = servers::kSockSendTo;
+  op.proto = 'U';
+  op.payload = payload;
+  op.arg0 = dst.value;
+  op.arg1 = port;
+  submit_ctl(op, status_cb(std::move(cb)));
+}
+
+std::optional<net::UdpEngine::Datagram> UdpSocket::recvfrom() {
+  return node().sockets().recvfrom(app(), SocketApi::Handle{'U', st_->id});
+}
+
+// --- SocketApi (deprecated shim) ---------------------------------------------------
 
 SocketApi::SocketApi(Node& node) : node_(node) {}
 
 net::TcpEngine* SocketApi::tcp() const { return node_.tcp_engine(); }
 net::UdpEngine* SocketApi::udp() const { return node_.udp_engine(); }
 
-SocketApi::DeliverFn SocketApi::to_app(
-    AppActor& app, std::function<void(const chan::Message&)> on_reply) {
-  AppActor* a = &app;
-  return [a, on_reply = std::move(on_reply)](const chan::Message& r) {
-    // Reply delivery is a kernel message back into the app's address space.
-    a->post_kernel_msg([on_reply, r](sim::Context&) { on_reply(r); }, 100);
-  };
-}
-
-void SocketApi::route(AppActor& app, char proto, chan::Message m,
-                      DeliverFn deliver) {
-  m.req_id = next_req_++;
-  const auto& cfg = node_.config();
-  const auto& costs = node_.sim().costs();
-
-  // The app-side trap for the call itself.
-  app.cur().charge(cfg.mode == StackMode::kIdealMonolithic
-                       ? 80
-                       : costs.trap_hot +
-                             static_cast<sim::Cycles>(
-                                 costs.copy_per_byte * sizeof(chan::Message)));
-
-  if (cfg.has_syscall_server() && node_.syscall() != nullptr) {
-    node_.syscall()->submit(proto, m, std::move(deliver));
-    return;
-  }
-  if (cfg.combined_stack()) {
-    servers::StackServer* stack = node_.stack_server();
-    if (stack == nullptr || !stack->alive()) {
-      chan::Message err;
-      err.opcode = servers::kSockReply;
-      err.req_id = m.req_id;
-      err.flags = 1;
-      deliver(err);
-      return;
-    }
-    // Direct kernel IPC into the combined stack: it pays the trap.
-    const sim::Cycles toll = cfg.mode == StackMode::kIdealMonolithic
-                                 ? 0
-                                 : costs.trap_cold - costs.trap_hot;
-    stack->post_kernel_msg(
-        [stack, proto, m, deliver = std::move(deliver)](sim::Context& ctx) {
-          stack->handle_sock_request(proto, m, ctx, deliver);
-        },
-        toll);
-    return;
-  }
-  // Table II line 2: apps trap straight into the transports, polluting the
-  // dedicated server's caches — charged as a cold trap on its core, plus the
-  // synchronous reply (trap + IPI + context restore on the blocked app).
-  const std::string target =
-      proto == 'T' ? servers::kTcpName : servers::kUdpName;
-  servers::Server* srv = node_.server(target);
-  const sim::Cycles reply_toll =
-      costs.trap_hot + costs.ipi + costs.mwait_wakeup;
-  auto charge_reply = [srv, reply_toll, deliver = std::move(deliver)](
-                          const chan::Message& r) {
-    srv->cur().charge(reply_toll);
-    deliver(r);
-  };
-  deliver = charge_reply;
-  if (srv == nullptr || !srv->alive()) {
-    chan::Message err;
-    err.opcode = servers::kSockReply;
-    err.req_id = m.req_id;
-    err.flags = 1;
-    deliver(err);
-    return;
-  }
-  if (proto == 'T') {
-    auto* tcp_srv = static_cast<servers::TcpServer*>(srv);
-    tcp_srv->post_kernel_msg(
-        [tcp_srv, m, deliver = std::move(deliver)](sim::Context& ctx) {
-          tcp_srv->handle_sock_request(m, ctx, deliver);
-        },
-        costs.trap_cold);
-  } else {
-    auto* udp_srv = static_cast<servers::UdpServer*>(srv);
-    udp_srv->post_kernel_msg(
-        [udp_srv, m, deliver = std::move(deliver)](sim::Context& ctx) {
-          udp_srv->handle_sock_request(m, ctx, deliver);
-        },
-        costs.trap_cold);
-  }
-}
-
 void SocketApi::open(AppActor& app, char proto, OpenCb cb) {
-  chan::Message m;
-  m.opcode = servers::kSockOpen;
-  route(app, proto, m,
-        to_app(app, [proto, cb = std::move(cb)](const chan::Message& r) {
-          Handle h;
-          h.proto = proto;
-          h.sock = r.flags & 1 ? 0 : static_cast<std::uint32_t>(r.arg0);
-          cb(h);
-        }));
+  SockSqe op;
+  op.opcode = servers::kSockOpen;
+  op.proto = proto;
+  app.ring().enqueue(op, [proto, cb = std::move(cb)](const SockCqe& c) {
+    Handle h;
+    h.proto = proto;
+    h.sock = c.ok ? static_cast<std::uint32_t>(c.value) : 0;
+    cb(h);
+  });
 }
 
 void SocketApi::bind(AppActor& app, Handle h, net::Ipv4Addr addr,
                      std::uint16_t port, StatusCb cb) {
-  chan::Message m;
-  m.opcode = servers::kSockBind;
-  m.socket = h.sock;
-  m.arg0 = addr.value;
-  m.arg1 = port;
-  route(app, h.proto, m,
-        to_app(app, [cb = std::move(cb)](const chan::Message& r) {
-          cb((r.flags & 1) == 0 && r.arg0 != 0);
-        }));
+  SockSqe op;
+  op.opcode = servers::kSockBind;
+  op.proto = h.proto;
+  op.sock = h.sock;
+  op.arg0 = addr.value;
+  op.arg1 = port;
+  app.ring().enqueue(op,
+                     [cb = std::move(cb)](const SockCqe& c) { cb(c.ok); });
 }
 
 void SocketApi::listen(AppActor& app, Handle h, int backlog, StatusCb cb) {
-  chan::Message m;
-  m.opcode = servers::kSockListen;
-  m.socket = h.sock;
-  m.arg0 = static_cast<std::uint64_t>(backlog);
-  route(app, h.proto, m,
-        to_app(app, [cb = std::move(cb)](const chan::Message& r) {
-          cb((r.flags & 1) == 0 && r.arg0 != 0);
-        }));
+  SockSqe op;
+  op.opcode = servers::kSockListen;
+  op.proto = h.proto;
+  op.sock = h.sock;
+  op.arg0 = static_cast<std::uint64_t>(backlog);
+  app.ring().enqueue(op,
+                     [cb = std::move(cb)](const SockCqe& c) { cb(c.ok); });
 }
 
 void SocketApi::connect(AppActor& app, Handle h, net::Ipv4Addr addr,
                         std::uint16_t port, StatusCb cb) {
-  chan::Message m;
-  m.opcode = servers::kSockConnect;
-  m.socket = h.sock;
-  m.arg0 = addr.value;
-  m.arg1 = port;
-  route(app, h.proto, m,
-        to_app(app, [cb = std::move(cb)](const chan::Message& r) {
-          cb((r.flags & 1) == 0 && r.arg0 != 0);
-        }));
+  SockSqe op;
+  op.opcode = servers::kSockConnect;
+  op.proto = h.proto;
+  op.sock = h.sock;
+  op.arg0 = addr.value;
+  op.arg1 = port;
+  app.ring().enqueue(op,
+                     [cb = std::move(cb)](const SockCqe& c) { cb(c.ok); });
 }
 
 void SocketApi::close(AppActor& app, Handle h, StatusCb cb) {
   clear_event_handler(h);
-  chan::Message m;
-  m.opcode = servers::kSockClose;
-  m.socket = h.sock;
-  route(app, h.proto, m,
-        to_app(app, [cb = std::move(cb)](const chan::Message& r) {
-          cb((r.flags & 1) == 0);
-        }));
+  SockSqe op;
+  op.opcode = servers::kSockClose;
+  op.proto = h.proto;
+  op.sock = h.sock;
+  app.ring().enqueue(op,
+                     [cb = std::move(cb)](const SockCqe& c) { cb(c.ok); });
 }
 
 void SocketApi::send(AppActor& app, Handle h, std::uint32_t len,
@@ -191,22 +366,19 @@ void SocketApi::send(AppActor& app, Handle h, std::uint32_t len,
     app.call([cb](sim::Context&) { cb(false); });
     return;
   }
-  // The socket buffer is exported to the application (Section V-B): the app
-  // writes payload into the transport's pool directly, paying the copy.
   chan::RichPtr payload = eng->alloc_payload(len);
   if (!payload.valid()) {
     app.call([cb](sim::Context&) { cb(false); });
     return;
   }
   app.cur().charge(node_.sim().costs().copy_cost(len));
-  chan::Message m;
-  m.opcode = servers::kSockSend;
-  m.socket = h.sock;
-  m.ptr = payload;
-  route(app, 'T', m,
-        to_app(app, [cb = std::move(cb)](const chan::Message& r) {
-          cb((r.flags & 1) == 0 && r.arg0 != 0);
-        }));
+  SockSqe op;
+  op.opcode = servers::kSockSend;
+  op.proto = 'T';
+  op.sock = h.sock;
+  op.payload = payload;
+  app.ring().enqueue(op,
+                     [cb = std::move(cb)](const SockCqe& c) { cb(c.ok); });
 }
 
 void SocketApi::sendto(AppActor& app, Handle h, std::uint32_t len,
@@ -222,16 +394,15 @@ void SocketApi::sendto(AppActor& app, Handle h, std::uint32_t len,
     return;
   }
   app.cur().charge(node_.sim().costs().copy_cost(len));
-  chan::Message m;
-  m.opcode = servers::kSockSendTo;
-  m.socket = h.sock;
-  m.ptr = payload;
-  m.arg0 = addr.value;
-  m.arg1 = port;
-  route(app, 'U', m,
-        to_app(app, [cb = std::move(cb)](const chan::Message& r) {
-          cb((r.flags & 1) == 0 && r.arg0 != 0);
-        }));
+  SockSqe op;
+  op.opcode = servers::kSockSendTo;
+  op.proto = 'U';
+  op.sock = h.sock;
+  op.payload = payload;
+  op.arg0 = addr.value;
+  op.arg1 = port;
+  app.ring().enqueue(op,
+                     [cb = std::move(cb)](const SockCqe& c) { cb(c.ok); });
 }
 
 std::size_t SocketApi::send_space(Handle h) const {

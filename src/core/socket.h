@@ -1,22 +1,33 @@
-// Application actors and the socket API.
+// Application actors and the object-oriented async socket API.
 //
-// Applications are event-driven actors on application cores.  Their POSIX
-// system calls become kernel-IPC messages (Section V-B): to the SYSCALL
-// server when the configuration has one, straight into the transports
-// otherwise (Table II line 2 — the transports then pay the trapping toll).
-// The data path bypasses the SYSCALL server entirely: socket buffers are
-// exported to the application, which reads received data and writes send
-// payloads directly into the transport's pool (Section V-B, "the actual
-// data bypass the SYSCALL").
+// Applications are event-driven actors on application cores.  Socket
+// *control* ops (open/bind/listen/connect/send submission/close) are queued
+// into the app's per-process submission ring and flushed in batches — one
+// kernel-IPC trap per batch — to the SYSCALL server when the configuration
+// has one, straight into the transports otherwise (Table II line 2: the
+// transports then pay the trapping toll).  Completions drain from the app's
+// completion ring, again under a single kernel message (see
+// src/core/socket_ring.h).
+//
+// The *data* path bypasses all of that: socket buffers are exported to the
+// application, which reads received data and writes send payloads directly
+// into the transport's pool (Section V-B, "the actual data bypass the
+// SYSCALL").
+//
+// TcpSocket / UdpSocket / TcpListener are RAII handles owned by application
+// code: destroying one closes the kernel socket (batched like any other op)
+// and unregisters its event handler.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 
 #include "src/core/config.h"
+#include "src/core/socket_ring.h"
 #include "src/net/tcp.h"
 #include "src/net/udp.h"
 #include "src/servers/server.h"
@@ -29,6 +40,7 @@ class Node;
 class AppActor : public servers::Server {
  public:
   AppActor(servers::NodeEnv* env, std::string name, sim::SimCore* core);
+  ~AppActor() override;
 
   // Entry point, run once at boot.
   void set_main(std::function<void(sim::Context&)> main);
@@ -37,6 +49,10 @@ class AppActor : public servers::Server {
   // Schedules `fn` after a delay (sleep/poll loops).
   void call_after(sim::Time delay, std::function<void(sim::Context&)> fn);
 
+  // The app's submission/completion ring (attached by Node::add_app).
+  SocketRing& ring() { return *ring_; }
+  void attach_ring(std::unique_ptr<SocketRing> ring);
+
  protected:
   void start(bool restart) override;
   void on_message(const std::string&, const chan::Message&,
@@ -44,8 +60,128 @@ class AppActor : public servers::Server {
 
  private:
   std::function<void(sim::Context&)> main_;
+  std::unique_ptr<SocketRing> ring_;
 };
 
+using SockStatusFn = std::function<void(bool ok)>;
+using SockEventFn = std::function<void(net::TcpEvent)>;
+
+// Base of the RAII socket objects.  Not copyable or movable: event handlers
+// and in-flight completions are anchored to a shared state block, so the
+// object itself can die at any time without dangling callbacks.
+class Socket {
+ public:
+  virtual ~Socket();
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return st_->id != 0; }
+  std::uint32_t id() const { return st_->id; }
+  char proto() const { return st_->proto; }
+  AppActor& app() const { return *st_->app; }
+
+  // Registers the readiness-event handler (Connected/Readable/Writable/
+  // Reset/...).  May be called before the kernel socket exists; the
+  // registration happens as soon as the open completes.
+  void on_event(SockEventFn fn);
+
+  // Releases the kernel socket (one batched op).  Safe to call twice; the
+  // destructor calls it implicitly.
+  void close(SockStatusFn cb = {});
+
+ protected:
+  struct State {
+    AppActor* app = nullptr;
+    Node* node = nullptr;
+    char proto = 'T';
+    std::uint32_t id = 0;
+    bool opening = false;
+    bool closed = false;
+    std::uint64_t open_cookie = 0;
+    // Ops issued after the open's batch already flushed but before its
+    // completion arrived; replayed (with the real id) when it does.
+    std::vector<std::pair<SockSqe, SocketRing::CompletionFn>> deferred;
+    SockEventFn on_event;
+  };
+
+  Socket(AppActor& app, char proto);
+  Socket(AppActor& app, char proto, std::uint32_t adopt_id);
+
+  // Submits a control op against this socket.  When the kernel socket does
+  // not exist yet, a kSockOpen is queued first and the op targets it via
+  // the in-batch sentinel — one trap for open+connect, or open+bind+listen.
+  // If the open already flushed but has not completed, the op is held and
+  // replayed on completion.
+  void submit_ctl(SockSqe op, SocketRing::CompletionFn cb);
+  SocketRing& ring() const;
+  Node& node() const { return *st_->node; }
+  // Wraps a user callback so it is dropped once the object died and
+  // adapts the CQE to the bool the app cares about.
+  SocketRing::CompletionFn status_cb(SockStatusFn cb) const;
+
+  static void register_events(const std::shared_ptr<State>& st);
+
+  std::shared_ptr<State> st_;
+};
+
+// A TCP connection endpoint.
+class TcpSocket : public Socket {
+ public:
+  explicit TcpSocket(AppActor& app);
+  // Wraps an already-established connection (TcpListener::accept).
+  TcpSocket(AppActor& app, std::uint32_t accepted_id);
+
+  // Queues open (if needed) + connect in one flush.  `cb` reports whether
+  // the transport accepted the call; the Connected/Reset event reports the
+  // handshake outcome.
+  void connect(net::Ipv4Addr dst, std::uint16_t port, SockStatusFn cb);
+  // Copies `len` bytes into the exported socket buffer (data fast path)
+  // and queues the send submission (control path).
+  void send(std::uint32_t len, SockStatusFn cb);
+
+  // --- data fast path (exported socket buffers, Section V-B) ---------------------
+  std::size_t send_space() const;
+  std::size_t recv(std::span<std::byte> out);
+  std::size_t recv_available() const;
+};
+
+// A passive TCP socket.
+class TcpListener : public Socket {
+ public:
+  explicit TcpListener(AppActor& app);
+
+  // Queues open + bind + listen as ONE batch — three ops, one trap.  `cb`
+  // fires once with the combined outcome.
+  void bind_listen(net::Ipv4Addr addr, std::uint16_t port, int backlog,
+                   SockStatusFn cb);
+  // Fast path: pops one pending connection from the accept queue, nullptr
+  // when it is empty.  Call on TcpEvent::AcceptReady.
+  std::unique_ptr<TcpSocket> accept();
+};
+
+// A UDP socket.
+class UdpSocket : public Socket {
+ public:
+  explicit UdpSocket(AppActor& app);
+
+  void bind(net::Ipv4Addr addr, std::uint16_t port, SockStatusFn cb);
+  // Presets the peer; datagrams from others are filtered by the engine.
+  void connect(net::Ipv4Addr peer, std::uint16_t port, SockStatusFn cb);
+  // Copies `len` payload bytes into the exported buffer and queues the
+  // datagram; a zero `dst` uses the connected peer.
+  void sendto(std::uint32_t len, net::Ipv4Addr dst, std::uint16_t port,
+              SockStatusFn cb);
+
+  // Fast path.
+  std::optional<net::UdpEngine::Datagram> recvfrom();
+};
+
+// DEPRECATED: the flat per-call façade the OO API replaced.  It survives as
+// a thin shim over the submission ring (every call is a batch of one) for
+// stragglers; new code uses TcpSocket/UdpSocket/TcpListener.  The node
+// still routes readiness events through it (dispatch_event), which is why
+// it also hosts the event-handler registry the socket objects register
+// with.
 class SocketApi {
  public:
   struct Handle {
@@ -59,7 +195,7 @@ class SocketApi {
 
   explicit SocketApi(Node& node);
 
-  // --- control path (kernel IPC / SYSCALL server) --------------------------------
+  // --- control path shim (one ring op per call) ----------------------------------
   void open(AppActor& app, char proto, OpenCb cb);
   void bind(AppActor& app, Handle h, net::Ipv4Addr addr, std::uint16_t port,
             StatusCb cb);
@@ -67,7 +203,6 @@ class SocketApi {
   void connect(AppActor& app, Handle h, net::Ipv4Addr addr,
                std::uint16_t port, StatusCb cb);
   void close(AppActor& app, Handle h, StatusCb cb);
-  // Copies `len` bytes into the exported socket buffer and submits a send.
   void send(AppActor& app, Handle h, std::uint32_t len, StatusCb cb);
   void sendto(AppActor& app, Handle h, std::uint32_t len, net::Ipv4Addr addr,
               std::uint16_t port, StatusCb cb);
@@ -89,15 +224,9 @@ class SocketApi {
   net::UdpEngine* udp() const;
 
  private:
-  using DeliverFn = std::function<void(const chan::Message&)>;
-  void route(AppActor& app, char proto, chan::Message m, DeliverFn deliver);
-  DeliverFn to_app(AppActor& app, std::function<void(const chan::Message&)>
-                                      on_reply);
-
   Node& node_;
   std::map<std::pair<char, std::uint32_t>, std::pair<AppActor*, EventCb>>
       handlers_;
-  std::uint64_t next_req_ = 1;
 };
 
 }  // namespace newtos

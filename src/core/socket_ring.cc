@@ -1,0 +1,257 @@
+#include "src/core/socket_ring.h"
+
+#include <utility>
+
+#include "src/core/node.h"
+#include "src/servers/proto.h"
+
+namespace newtos {
+
+namespace {
+
+// Every submission path reuses the packed-op format of the channel
+// protocol; req_id carries the ring cookie for reply correlation.
+servers::WireSockOp to_wire(const SockSqe& op) {
+  servers::WireSockOp w;
+  w.opcode = op.opcode;
+  w.proto = static_cast<std::uint8_t>(op.proto);
+  w.sock = op.sock;
+  w.req_id = op.cookie;
+  w.arg0 = op.arg0;
+  w.arg1 = op.arg1;
+  w.ptr = op.payload;
+  return w;
+}
+
+}  // namespace
+
+SocketRing::SocketRing(Node& node, AppActor& app, std::size_t depth)
+    : node_(node), app_(app), sq_(depth), cq_(depth) {}
+
+bool SocketRing::enqueue(SockSqe op, CompletionFn cb) {
+  op.cookie = next_cookie_++;
+  if (!sq_.try_push(op)) {
+    // Full SQ: never block (Section IV-A).  The op fails with an error
+    // completion and the application's retry policy takes over.
+    ++sq_overflows_;
+    cbs_[op.cookie] = PendingCb{op.opcode, std::move(cb)};
+    fail(op);
+    return false;
+  }
+  cbs_[op.cookie] = PendingCb{op.opcode, std::move(cb)};
+  if (op.opcode == servers::kSockOpen) {
+    (op.proto == 'U' ? last_open_u_ : last_open_t_) = op.cookie;
+  }
+  schedule_flush();
+  return true;
+}
+
+void SocketRing::schedule_flush() {
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  // The deferred doorbell: ops enqueued for the rest of this handler turn
+  // join the batch; the flush itself is the one trap they all share.
+  app_.call(
+      [this](sim::Context& ctx) {
+        flush_scheduled_ = false;
+        do_flush(ctx);
+      },
+      50);
+}
+
+void SocketRing::do_flush(sim::Context& ctx) {
+  std::vector<SockSqe> batch;
+  SockSqe e;
+  while (sq_.try_pop(e)) batch.push_back(e);
+  flush_watermark_ = next_cookie_;
+  if (batch.empty()) return;
+
+  ops_ += batch.size();
+  ++doorbells_;
+  node_.stats().add("sockring.ops", batch.size());
+  node_.stats().add("sockring.doorbells");
+
+  const auto& cfg = node_.config();
+  const auto& costs = node_.sim().costs();
+
+  // The app-side trap — ONE for the whole batch.  The per-op cost is only
+  // the copy of the packed descriptors into the submission window.
+  if (cfg.mode == StackMode::kIdealMonolithic) {
+    ctx.charge(80 + static_cast<sim::Cycles>(8 * batch.size()));
+  } else {
+    ctx.charge(costs.trap_hot +
+               static_cast<sim::Cycles>(costs.copy_per_byte *
+                                        sizeof(servers::WireSockOp) *
+                                        batch.size()));
+  }
+
+  if (cfg.has_syscall_server() && node_.syscall() != nullptr) {
+    std::vector<servers::SyscallServer::BatchOp> ops;
+    ops.reserve(batch.size());
+    for (const auto& sqe : batch) {
+      servers::SyscallServer::BatchOp op;
+      op.proto = sqe.proto;
+      op.request = servers::sock_op_message(to_wire(sqe));
+      const std::uint64_t cookie = sqe.cookie;
+      const std::uint16_t opcode = sqe.opcode;
+      op.deliver = [this, cookie, opcode](const chan::Message& r) {
+        on_reply(cookie, opcode, r.flags, r.socket, r.arg0);
+      };
+      ops.push_back(std::move(op));
+    }
+    node_.syscall()->submit_batch(std::move(ops));
+    return;
+  }
+  route_direct(std::move(batch));
+}
+
+void SocketRing::route_direct(std::vector<SockSqe> batch) {
+  const auto& cfg = node_.config();
+  const auto& costs = node_.sim().costs();
+
+  if (cfg.combined_stack()) {
+    servers::StackServer* stack = node_.stack_server();
+    if (stack == nullptr || !stack->alive()) {
+      for (const auto& op : batch) fail(op);
+      return;
+    }
+    // Direct kernel IPC into the combined stack: it pays one (cold) trap
+    // for the whole batch instead of one per op.
+    const sim::Cycles toll = cfg.mode == StackMode::kIdealMonolithic
+                                 ? 0
+                                 : costs.trap_cold - costs.trap_hot;
+    std::vector<servers::WireSockOp> wire;
+    wire.reserve(batch.size());
+    for (const auto& sqe : batch) wire.push_back(to_wire(sqe));
+    stack->post_kernel_msg(
+        [this, stack, wire = std::move(wire)](sim::Context& sctx) {
+          servers::run_sock_batch(
+              wire, [&](char proto, const chan::Message& sm,
+                        const auto& note_open) {
+                stack->handle_sock_request(
+                    proto, sm, sctx, [&](const chan::Message& r) {
+                      note_open(r);
+                      on_reply(sm.req_id, sm.opcode, r.flags, r.socket,
+                               r.arg0);
+                    });
+              });
+        },
+        toll);
+    return;
+  }
+
+  // Table II line 2: no SYSCALL server — the app traps straight into the
+  // transports, polluting their caches.  The batch still amortizes the
+  // cold trap, but each reply keeps its synchronous toll (trap + IPI +
+  // context restore on the blocked app).
+  for (const char proto : {'T', 'U'}) {
+    std::vector<SockSqe> sub;
+    for (const auto& op : batch) {
+      if (op.proto == proto) sub.push_back(op);
+    }
+    if (sub.empty()) continue;
+    const std::string target =
+        proto == 'T' ? servers::kTcpName : servers::kUdpName;
+    servers::Server* srv = node_.server(target);
+    if (srv == nullptr || !srv->alive()) {
+      for (const auto& op : sub) fail(op);
+      continue;
+    }
+    const sim::Cycles reply_toll =
+        costs.trap_hot + costs.ipi + costs.mwait_wakeup;
+    std::vector<servers::WireSockOp> wire;
+    wire.reserve(sub.size());
+    for (const auto& sqe : sub) wire.push_back(to_wire(sqe));
+    auto run = [this, srv, proto, reply_toll,
+                wire = std::move(wire)](sim::Context& sctx) {
+      servers::run_sock_batch(
+          wire, [&](char, const chan::Message& sm, const auto& note_open) {
+            auto reply = [&](const chan::Message& r) {
+              note_open(r);
+              srv->cur().charge(reply_toll);
+              on_reply(sm.req_id, sm.opcode, r.flags, r.socket, r.arg0);
+            };
+            if (proto == 'T') {
+              static_cast<servers::TcpServer*>(srv)->handle_sock_request(
+                  sm, sctx, reply);
+            } else {
+              static_cast<servers::UdpServer*>(srv)->handle_sock_request(
+                  sm, sctx, reply);
+            }
+          });
+    };
+    srv->post_kernel_msg(std::move(run), costs.trap_cold);
+  }
+}
+
+void SocketRing::on_reply(std::uint64_t cookie, std::uint16_t opcode,
+                          std::uint16_t flags, std::uint32_t sock,
+                          std::uint64_t arg0) {
+  SockCqe c;
+  c.cookie = cookie;
+  c.opcode = opcode;
+  c.sock = sock;
+  c.value = arg0;
+  c.ok = (flags & 1) == 0 &&
+         (opcode == servers::kSockClose || arg0 != 0);
+  push_cqe(c);
+}
+
+void SocketRing::fail(const SockSqe& op) {
+  // The op never reached a transport: hand any pre-allocated payload back
+  // to its pool (the engine only takes ownership once the op executes).
+  if (op.payload.valid()) {
+    if (chan::Pool* pool = node_.pools().find(op.payload.pool)) {
+      pool->release(op.payload);
+    }
+  }
+  SockCqe c;
+  c.cookie = op.cookie;
+  c.opcode = op.opcode;
+  c.sock = op.sock;
+  c.ok = false;
+  push_cqe(c);
+}
+
+void SocketRing::push_cqe(const SockCqe& cqe) {
+  if (!cq_.try_push(cqe)) {
+    // CQ overflow: degrade to a dedicated kernel message for this one
+    // completion rather than dropping it.
+    app_.post_kernel_msg(
+        [this, cqe](sim::Context&) {
+          auto it = cbs_.find(cqe.cookie);
+          if (it == cbs_.end()) return;
+          CompletionFn fn = std::move(it->second.fn);
+          cbs_.erase(it);
+          ++completions_;
+          if (fn) fn(cqe);
+        },
+        100);
+    return;
+  }
+  if (drain_scheduled_) return;
+  drain_scheduled_ = true;
+  // One kernel message back into the app's address space drains every
+  // completion that accumulated — the reply-side half of the amortization.
+  app_.post_kernel_msg(
+      [this](sim::Context&) {
+        drain_scheduled_ = false;
+        drain_cq();
+      },
+      100);
+}
+
+void SocketRing::drain_cq() {
+  ++cq_drains_;
+  SockCqe c;
+  while (cq_.try_pop(c)) {
+    auto it = cbs_.find(c.cookie);
+    if (it == cbs_.end()) continue;
+    CompletionFn fn = std::move(it->second.fn);
+    cbs_.erase(it);
+    ++completions_;
+    if (fn) fn(c);
+  }
+}
+
+}  // namespace newtos

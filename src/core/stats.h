@@ -27,6 +27,10 @@ class StatsHub {
     return it == counters_.end() ? 0 : it->second;
   }
   void reset(const std::string& name) { counters_[name] = 0; }
+  // Overwrites (for gauges sampled from elsewhere, e.g. queue drop totals).
+  void set(const std::string& name, std::uint64_t value) {
+    counters_[name] = value;
+  }
 
   // Time series (e.g. bitrate samples for Figures 4 and 5).
   void record(const std::string& series, sim::Time t, double value) {

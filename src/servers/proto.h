@@ -14,8 +14,13 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
 
 #include "src/chan/message.h"
+#include "src/chan/pool.h"
 #include "src/net/addr.h"
 #include "src/net/pf.h"
 
@@ -55,6 +60,11 @@ enum Opcode : std::uint16_t {
   kSockClose,       // socket
   kSockReply,       // req_id matches request; arg0=status/value
   kSockEvent,       // socket; arg0=TcpEvent
+  kSockBatch,       // ptr=packed WireSockOp array; arg0=op count.  One
+                    // submission-queue flush travels as one message: the
+                    // single trap the application paid covers every op.
+                    // The submitter holds one chunk reference per op and
+                    // drops it as that op's reply (or abort) comes back.
 
   // --- PF state rebuild ---------------------------------------------------------------
   kConnList = 80,     // req_id
@@ -111,6 +121,94 @@ inline net::PfQuery parse_pf_check(const chan::Message& m) {
   q.protocol = static_cast<std::uint8_t>((m.arg2 >> 8) & 0xff);
   q.tcp_flags = static_cast<std::uint8_t>(m.arg2 & 0xff);
   return q;
+}
+
+// --- batched socket submissions (kSockBatch) ---------------------------------------
+//
+// Applications queue socket ops into a per-app submission ring; one doorbell
+// flushes the whole batch.  Over channels the batch travels as a packed
+// array of WireSockOp records referenced by a kSockBatch message.  Ops are
+// executed strictly in array order, so a later op may name the socket a
+// kSockOpen earlier in the same batch is about to create (kSockFromBatchOpen).
+
+// Sentinel socket id: "the socket opened by the nearest preceding kSockOpen
+// of the same protocol in this batch".
+inline constexpr std::uint32_t kSockFromBatchOpen = 0xffffffffu;
+
+struct WireSockOp {
+  std::uint16_t opcode = kNop;  // kSockOpen..kSockClose
+  std::uint8_t proto = 'T';     // 'T' or 'U'
+  std::uint8_t pad = 0;
+  std::uint32_t sock = 0;       // socket id or kSockFromBatchOpen
+  std::uint64_t req_id = 0;     // per-op reply correlation
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+  chan::RichPtr ptr;            // payload chunk for kSockSend/kSockSendTo
+};
+static_assert(std::is_trivially_copyable_v<WireSockOp>);
+
+inline chan::Message sock_op_message(const WireSockOp& op) {
+  chan::Message m;
+  m.opcode = op.opcode;
+  m.socket = op.sock;
+  m.req_id = op.req_id;
+  m.arg0 = op.arg0;
+  m.arg1 = op.arg1;
+  m.ptr = op.ptr;
+  if (op.proto == 'U') m.flags |= 2;
+  return m;
+}
+
+inline WireSockOp sock_op_from_message(char proto, const chan::Message& m) {
+  WireSockOp op;
+  op.opcode = m.opcode;
+  op.proto = static_cast<std::uint8_t>(proto);
+  op.sock = m.socket;
+  op.req_id = m.req_id;
+  op.arg0 = m.arg0;
+  op.arg1 = m.arg1;
+  op.ptr = m.ptr;
+  return op;
+}
+
+// Packs `ops` into a chunk of `pool`; null on pool exhaustion (drop/defer,
+// never block).
+inline chan::RichPtr pack_sock_batch(chan::Pool& pool,
+                                     std::span<const WireSockOp> ops) {
+  const std::uint32_t bytes =
+      static_cast<std::uint32_t>(ops.size() * sizeof(WireSockOp));
+  chan::RichPtr chunk = pool.alloc(bytes);
+  if (!chunk.valid()) return chunk;
+  auto view = pool.write_view(chunk);
+  std::memcpy(view.data(), ops.data(), bytes);
+  return chunk;
+}
+
+inline std::vector<WireSockOp> parse_sock_batch(
+    std::span<const std::byte> bytes) {
+  std::vector<WireSockOp> ops(bytes.size() / sizeof(WireSockOp));
+  std::memcpy(ops.data(), bytes.data(), ops.size() * sizeof(WireSockOp));
+  return ops;
+}
+
+// Runs every op of a batch in array order, resolving the in-batch open
+// sentinel per protocol.  `handle(proto, msg, note_open)` must execute the
+// op and invoke `note_open(reply)` synchronously from its reply path so
+// later sentinel ops see the socket the open created.
+template <typename HandleFn>
+inline void run_sock_batch(std::span<const WireSockOp> ops,
+                           HandleFn&& handle) {
+  std::uint32_t open_t = 0;
+  std::uint32_t open_u = 0;
+  for (const auto& op : ops) {
+    const char proto = static_cast<char>(op.proto);
+    chan::Message sm = sock_op_message(op);
+    std::uint32_t& batch_open = proto == 'U' ? open_u : open_t;
+    if (sm.socket == kSockFromBatchOpen) sm.socket = batch_open;
+    handle(proto, sm, [&batch_open, &sm](const chan::Message& r) {
+      if (sm.opcode == kSockOpen) batch_open = r.socket;
+    });
+  }
 }
 
 // Well-known server names.

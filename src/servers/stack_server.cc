@@ -454,6 +454,19 @@ void StackServer::on_message(const std::string& from, const chan::Message& m,
       if (--restore_replies_expected_ == 0) announce(true);
       return;
     }
+    case kSockBatch: {
+      // A packed submission-queue flush, possibly mixing TCP and UDP ops.
+      const auto ops = parse_sock_batch(env().pools->read(m.ptr));
+      run_sock_batch(ops, [&, this](char proto, const chan::Message& sm,
+                                    const auto& note_open) {
+        handle_sock_request(proto, sm, ctx,
+                            [&, this](const chan::Message& r) {
+                              note_open(r);
+                              send_to(from, r, ctx);
+                            });
+      });
+      return;
+    }
     default:
       // Socket control over channels (from the SYSCALL server); the proto is
       // carried in flags (0 = TCP, 1 = UDP).

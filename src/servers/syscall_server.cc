@@ -9,6 +9,7 @@ SyscallServer::SyscallServer(NodeEnv* env, sim::SimCore* core,
       udp_target_(std::move(udp_target)) {}
 
 void SyscallServer::start(bool restart) {
+  pool_ = env().get_pool("syscall.batch", 4u << 20);
   expose_in_queue(tcp_target_, 1024);
   connect_out(tcp_target_);
   if (udp_target_ != tcp_target_) {
@@ -20,34 +21,93 @@ void SyscallServer::start(bool restart) {
   announce(restart);
 }
 
-void SyscallServer::submit(char proto, chan::Message m, DeliverFn deliver) {
-  ++calls_;
+void SyscallServer::submit_batch(std::vector<BatchOp> ops) {
+  if (ops.empty()) return;
+  calls_ += ops.size();
+  ++batches_;
+  // The whole batch arrives under one kernel-IPC message — this is the
+  // trap amortization the submission ring buys.
   post_kernel_msg(
-      [this, proto, m, deliver = std::move(deliver)](sim::Context& ctx) {
-        forward(proto, m, deliver, ctx);
+      [this, ops = std::move(ops)](sim::Context& ctx) mutable {
+        forward_batch(std::move(ops), ctx);
       },
       100);
 }
 
-void SyscallServer::forward(char proto, const chan::Message& m,
-                            DeliverFn deliver, sim::Context& ctx) {
-  const std::string& target = proto == 'T' ? tcp_target_ : udp_target_;
-  chan::Message fwd = m;
-  fwd.req_id = next_req_++;
-  if (proto == 'U') fwd.flags |= 2;  // proto marker for the combined stack
-  pending_[fwd.req_id] = Pending{proto, fwd, std::move(deliver)};
-  if (!send_to(target, fwd, ctx)) {
-    // Transport is down right now: fail the call (the app retries).
-    auto it = pending_.find(fwd.req_id);
-    chan::Message err;
-    err.opcode = kSockReply;
-    err.req_id = m.req_id;
-    err.socket = m.socket;
-    err.arg0 = 0;
-    err.flags = 1;  // error
-    it->second.deliver(err);
-    pending_.erase(it);
+void SyscallServer::fail_op(const chan::Message& request,
+                            const DeliverFn& deliver) {
+  // The op never reached a transport: hand any payload the app staged in
+  // the transport's exported buffer back (the engine only takes ownership
+  // once the op executes).
+  if (request.ptr.valid()) {
+    if (chan::Pool* p = env().pools->find(request.ptr.pool)) {
+      p->release(request.ptr);
+    }
   }
+  chan::Message err;
+  err.opcode = kSockReply;
+  err.req_id = request.req_id;
+  err.socket = request.socket;
+  err.arg0 = 0;
+  err.flags = 1;  // error
+  deliver(err);
+}
+
+void SyscallServer::settle(std::map<std::uint64_t, Pending>::iterator it) {
+  if (it->second.chunk.valid()) pool_->release(it->second.chunk);
+  pending_.erase(it);
+}
+
+void SyscallServer::forward_batch(std::vector<BatchOp> ops,
+                                  sim::Context& ctx) {
+  // Group per destination transport; each group travels as ONE packed
+  // kSockBatch channel message.
+  for (const std::string* target : {&tcp_target_, &udp_target_}) {
+    if (target == &udp_target_ && udp_target_ == tcp_target_) break;
+    std::vector<std::size_t> idxs;
+    std::vector<WireSockOp> wire;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const std::string& t =
+          ops[i].proto == 'T' ? tcp_target_ : udp_target_;
+      if (t != *target) continue;
+      chan::Message fwd = ops[i].request;
+      fwd.req_id = next_req_++;
+      if (ops[i].proto == 'U') fwd.flags |= 2;  // proto marker, single ops
+      pending_[fwd.req_id] = Pending{ops[i].proto, fwd, ops[i].deliver, {}};
+      idxs.push_back(i);
+      wire.push_back(sock_op_from_message(ops[i].proto, fwd));
+    }
+    if (wire.empty()) continue;
+    chan::RichPtr chunk = pack_sock_batch(*pool_, wire);
+    bool sent = chunk.valid();
+    if (sent) {
+      chan::Message m;
+      m.opcode = kSockBatch;
+      m.arg0 = wire.size();
+      m.ptr = chunk;
+      sent = send_to(*target, m, ctx);
+    }
+    if (!sent) {
+      // Transport down or staging pool exhausted: fail every op of this
+      // group (the apps retry).
+      if (chunk.valid()) pool_->release(chunk);
+      for (std::size_t k = 0; k < wire.size(); ++k) {
+        pending_.erase(wire[k].req_id);
+        fail_op(ops[idxs[k]].request, ops[idxs[k]].deliver);
+      }
+      continue;
+    }
+    // Every op holds one reference on the staging chunk; alloc provided
+    // the first, so add one per additional op.  The reference drops as
+    // each op settles (reply, error, or restart abort) — a transport
+    // crash can therefore never strand the chunk.
+    for (std::size_t k = 1; k < wire.size(); ++k) pool_->addref(chunk);
+    for (std::size_t k = 0; k < wire.size(); ++k) {
+      pending_[wire[k].req_id].chunk = chunk;
+    }
+  }
+  // In a combined-stack arrangement both protocols share one target; the
+  // loop above already sent everything through tcp_target_.
 }
 
 void SyscallServer::on_message(const std::string& from,
@@ -60,7 +120,7 @@ void SyscallServer::on_message(const std::string& from,
   chan::Message reply = m;
   reply.req_id = it->second.request.req_id;  // restore the app's request id
   it->second.deliver(reply);
-  pending_.erase(it);
+  settle(it);
 }
 
 void SyscallServer::on_peer_up(const std::string& peer, bool restarted,
@@ -74,22 +134,20 @@ void SyscallServer::on_peer_up(const std::string& peer, bool restarted,
     const std::string& target = p.proto == 'T' ? tcp_target_ : udp_target_;
     if (target != peer) continue;
     const char proto = p.proto;
+    // An op still naming the in-batch open sentinel cannot be resubmitted
+    // standalone — its open's identity died with the batch; fail it so the
+    // app reopens.
     const bool resubmit =
-        proto == 'U' || p.request.opcode == kSockListen;
+        (proto == 'U' || p.request.opcode == kSockListen) &&
+        p.request.socket != kSockFromBatchOpen;
     if (resubmit) {
       send_to(peer, p.request, ctx);
     } else {
-      chan::Message err;
-      err.opcode = kSockReply;
-      err.req_id = p.request.req_id;
-      err.socket = p.request.socket;
-      err.arg0 = 0;
-      err.flags = 1;  // ECONNRESET-flavoured failure
-      p.deliver(err);
+      fail_op(p.request, p.deliver);
       done.push_back(id);
     }
   }
-  for (auto id : done) pending_.erase(id);
+  for (auto id : done) settle(pending_.find(id));
 }
 
 }  // namespace newtos::servers

@@ -12,6 +12,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "src/servers/proto.h"
 #include "src/servers/server.h"
@@ -28,12 +29,21 @@ class SyscallServer : public Server {
                 std::string tcp_target = kTcpName,
                 std::string udp_target = kUdpName);
 
-  // Entry point for application system calls (arrives via kernel IPC; the
-  // caller models the app-side trap).  `deliver` carries the reply back to
-  // the application.
-  void submit(char proto, chan::Message m, DeliverFn deliver);
+  // One op of a batched submission (a SocketRing SQ flush).
+  struct BatchOp {
+    char proto = 'T';
+    chan::Message request;
+    DeliverFn deliver;
+  };
+
+  // Entry point for application system calls: a whole submission-queue
+  // flush arrives under ONE kernel-IPC message (the caller models the
+  // app-side trap), then travels to each transport as ONE packed
+  // kSockBatch channel message.  Replies are delivered per op.
+  void submit_batch(std::vector<BatchOp> ops);
 
   std::uint64_t calls() const { return calls_; }
+  std::uint64_t batches() const { return batches_; }
 
  protected:
   void start(bool restart) override;
@@ -47,16 +57,24 @@ class SyscallServer : public Server {
     char proto = 'T';
     chan::Message request;
     DeliverFn deliver;
+    // The packed batch chunk this op rode in on; each op holds one
+    // reference, dropped when the op's reply (or abort) settles it.
+    chan::RichPtr chunk;
   };
 
-  void forward(char proto, const chan::Message& m, DeliverFn deliver,
-               sim::Context& ctx);
+  // Settles a pending op: releases its chunk reference and erases it.
+  void settle(std::map<std::uint64_t, Pending>::iterator it);
+
+  void forward_batch(std::vector<BatchOp> ops, sim::Context& ctx);
+  void fail_op(const chan::Message& request, const DeliverFn& deliver);
 
   std::string tcp_target_;
   std::string udp_target_;
+  chan::Pool* pool_ = nullptr;  // staging for packed kSockBatch arrays
   std::map<std::uint64_t, Pending> pending_;
   std::uint64_t next_req_ = 1;
   std::uint64_t calls_ = 0;
+  std::uint64_t batches_ = 0;
 };
 
 }  // namespace newtos::servers

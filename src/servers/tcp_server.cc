@@ -218,6 +218,18 @@ void TcpServer::on_message(const std::string& from, const chan::Message& m,
       announce(true);
       return;
     }
+    case kSockBatch: {
+      // One channel message carries a whole submission-queue flush.
+      const auto ops = parse_sock_batch(env().pools->read(m.ptr));
+      run_sock_batch(ops, [&, this](char, const chan::Message& sm,
+                                    const auto& note_open) {
+        handle_sock_request(sm, ctx, [&, this](const chan::Message& r) {
+          note_open(r);
+          send_to(from, r, ctx);
+        });
+      });
+      return;
+    }
     default:
       if (m.opcode >= kSockOpen && m.opcode <= kSockClose) {
         handle_sock_request(m, ctx, [this, from, &ctx](const chan::Message& r) {

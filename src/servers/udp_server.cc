@@ -208,6 +208,18 @@ void UdpServer::on_message(const std::string& from, const chan::Message& m,
       announce(true);
       return;
     }
+    case kSockBatch: {
+      // A packed submission-queue flush.
+      const auto ops = parse_sock_batch(env().pools->read(m.ptr));
+      run_sock_batch(ops, [&, this](char, const chan::Message& sm,
+                                    const auto& note_open) {
+        handle_sock_request(sm, ctx, [&, this](const chan::Message& r) {
+          note_open(r);
+          send_to(from, r, ctx);
+        });
+      });
+      return;
+    }
     default:
       // Socket control over channels (SYSCALL server path).
       if (m.opcode >= kSockOpen && m.opcode <= kSockClose) {

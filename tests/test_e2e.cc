@@ -1,6 +1,10 @@
 // End-to-end integration tests: full stack, both directions, every mode.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "src/core/apps.h"
 #include "src/core/testbed.h"
 
@@ -72,6 +76,46 @@ TEST(EndToEnd, MinixSyncIsSlow) {
   const double mbps = run_bulk(tb, 1 * sim::kSecond);
   EXPECT_GT(mbps, 20.0);
   EXPECT_LT(mbps, 500.0);  // nowhere near line rate (Table II line 1)
+}
+
+// The Table II multi-NIC shape (folded in from the old debug_probe4
+// scratch): five gigabit links driven concurrently by the single-server
+// stack with TSO must aggregate well beyond any single link.
+TEST(EndToEnd, MultiNicAggregateThroughput) {
+  TestbedOptions opts;
+  opts.mode = StackMode::kSingleServer;
+  opts.nics = 5;
+  opts.tso = true;
+  opts.app_write_size = 65536;
+  Testbed tb(opts);
+
+  std::vector<std::unique_ptr<apps::BulkReceiver>> rxs;
+  std::vector<std::unique_ptr<apps::BulkSender>> txs;
+  for (int i = 0; i < opts.nics; ++i) {
+    AppActor* rx_app = tb.peer().add_app("rx" + std::to_string(i));
+    apps::BulkReceiver::Config rc;
+    rc.port = static_cast<std::uint16_t>(5001 + i);
+    rc.record_series = false;
+    rxs.push_back(std::make_unique<apps::BulkReceiver>(tb.peer(), rx_app, rc));
+    rxs.back()->start();
+    AppActor* tx_app = tb.newtos().add_app("tx" + std::to_string(i));
+    apps::BulkSender::Config sc;
+    sc.dst = tb.newtos().peer_addr(i);
+    sc.port = rc.port;
+    sc.write_size = opts.app_write_size;
+    txs.push_back(std::make_unique<apps::BulkSender>(tb.newtos(), tx_app, sc));
+    txs.back()->start();
+  }
+
+  tb.run_until(400 * sim::kMillisecond);
+  std::uint64_t start = 0;
+  for (auto& r : rxs) start += r->bytes();
+  tb.run_until(1 * sim::kSecond);
+  std::uint64_t bytes = 0;
+  for (auto& r : rxs) bytes += r->bytes();
+  const double gbps = static_cast<double>(bytes - start) * 8.0 / 0.6 / 1e9;
+  EXPECT_GT(gbps, 3.0);  // five links, all active
+  EXPECT_LE(gbps, 5.0);  // never above the physics
 }
 
 TEST(EndToEnd, EchoAndDns) {

@@ -1,0 +1,288 @@
+// The object-oriented async socket API (TcpSocket/UdpSocket/TcpListener)
+// and the per-app submission/completion rings underneath it.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/socket.h"
+#include "src/core/socket_ring.h"
+#include "src/core/testbed.h"
+#include "src/servers/proto.h"
+
+using namespace newtos;
+
+namespace {
+
+TestbedOptions options(StackMode mode) {
+  TestbedOptions opts;
+  opts.mode = mode;
+  return opts;
+}
+
+}  // namespace
+
+// Open/connect/close lifecycle, across every stack arrangement: the
+// SYSCALL-server path (packed kSockBatch channel messages), the combined
+// stack, and the direct-trap split stack all route the same SQ flush.
+TEST(SocketObjects, TcpLifecycleAllModes) {
+  for (StackMode mode : {StackMode::kSplitSyscall, StackMode::kSingleServer,
+                         StackMode::kSplit}) {
+    SCOPED_TRACE(to_string(mode));
+    Testbed tb(options(mode));
+
+    AppActor* srv_app = tb.peer().add_app("srv");
+    TcpListener listener(*srv_app);
+    std::vector<std::unique_ptr<TcpSocket>> accepted;
+    listener.on_event([&](net::TcpEvent ev) {
+      if (ev != net::TcpEvent::AcceptReady) return;
+      while (auto c = listener.accept()) accepted.push_back(std::move(c));
+    });
+    bool listen_ok = false;
+    listener.bind_listen(net::Ipv4Addr{}, 7000, 4,
+                         [&](bool ok) { listen_ok = ok; });
+
+    AppActor* cli_app = tb.newtos().add_app("cli");
+    auto sock = std::make_unique<TcpSocket>(*cli_app);
+    bool connected = false;
+    sock->on_event([&](net::TcpEvent ev) {
+      if (ev == net::TcpEvent::Connected) connected = true;
+    });
+    bool call_ok = false;
+    sock->connect(tb.newtos().peer_addr(0), 7000,
+                  [&](bool ok) { call_ok = ok; });
+
+    tb.run_until(500 * sim::kMillisecond);
+    EXPECT_TRUE(listen_ok);
+    EXPECT_TRUE(call_ok);
+    EXPECT_TRUE(connected);
+    EXPECT_TRUE(sock->valid());
+    ASSERT_EQ(accepted.size(), 1u);
+    EXPECT_TRUE(accepted[0]->valid());
+
+    bool close_ok = false;
+    sock->close([&](bool ok) { close_ok = ok; });
+    tb.run_until(1 * sim::kSecond);
+    EXPECT_TRUE(close_ok);
+    EXPECT_FALSE(sock->valid());
+  }
+}
+
+// A connect to a port nobody listens on completes with a Reset event, not
+// a Connected one — the error completion surfaces through the same ring.
+TEST(SocketObjects, ConnectRefusedDeliversReset) {
+  Testbed tb(options(StackMode::kSplitSyscall));
+  AppActor* cli_app = tb.newtos().add_app("cli");
+  TcpSocket sock(*cli_app);
+  bool connected = false;
+  bool reset = false;
+  sock.on_event([&](net::TcpEvent ev) {
+    if (ev == net::TcpEvent::Connected) connected = true;
+    if (ev == net::TcpEvent::Reset) reset = true;
+  });
+  bool call_ok = false;
+  sock.connect(tb.newtos().peer_addr(0), 9999,
+               [&](bool ok) { call_ok = ok; });
+  tb.run_until(1 * sim::kSecond);
+  EXPECT_TRUE(call_ok);  // the SYN was submitted fine
+  EXPECT_FALSE(connected);
+  EXPECT_TRUE(reset);
+}
+
+// Binding a port that is already taken fails the second bind_listen — the
+// in-batch open sentinel resolves each listener to its own fresh socket.
+TEST(SocketObjects, BindConflictFails) {
+  Testbed tb(options(StackMode::kSplitSyscall));
+  AppActor* app = tb.newtos().add_app("srv");
+  TcpListener first(*app);
+  TcpListener second(*app);
+  bool first_ok = false;
+  bool second_ok = true;
+  first.bind_listen(net::Ipv4Addr{}, 8080, 4,
+                    [&](bool ok) { first_ok = ok; });
+  second.bind_listen(net::Ipv4Addr{}, 8080, 4,
+                     [&](bool ok) { second_ok = ok; });
+  tb.run_until(200 * sim::kMillisecond);
+  EXPECT_TRUE(first_ok);
+  EXPECT_FALSE(second_ok);
+}
+
+// UDP datagram flow: recvfrom reports the sender's address and port, and
+// a reply sent to them arrives back.
+TEST(SocketObjects, UdpRecvfromAndReply) {
+  Testbed tb(options(StackMode::kSplitSyscall));
+
+  AppActor* srv_app = tb.peer().add_app("named");
+  UdpSocket server(*srv_app);
+  net::Ipv4Addr seen_src;
+  std::uint16_t seen_sport = 0;
+  std::size_t seen_len = 0;
+  server.on_event([&](net::TcpEvent) {
+    while (auto d = server.recvfrom()) {
+      seen_src = d->src;
+      seen_sport = d->sport;
+      seen_len = d->data.size();
+      server.sendto(static_cast<std::uint32_t>(d->data.size()), d->src,
+                    d->sport, {});
+    }
+  });
+  server.bind(net::Ipv4Addr{}, 5353, [](bool) {});
+
+  AppActor* cli_app = tb.newtos().add_app("res");
+  UdpSocket client(*cli_app);
+  std::size_t replies = 0;
+  client.on_event([&](net::TcpEvent) {
+    while (client.recvfrom()) ++replies;
+  });
+  bool ready = false;
+  client.connect(tb.newtos().peer_addr(0), 5353,
+                 [&](bool ok) { ready = ok; });
+  tb.run_until(100 * sim::kMillisecond);
+  ASSERT_TRUE(ready);
+  cli_app->call([&](sim::Context&) {
+    client.sendto(64, net::Ipv4Addr{}, 0, [](bool) {});
+  });
+
+  tb.run_until(600 * sim::kMillisecond);
+  EXPECT_EQ(seen_len, 64u);
+  EXPECT_EQ(seen_src.value, tb.newtos().addr(0).value);
+  EXPECT_NE(seen_sport, 0);
+  EXPECT_EQ(replies, 1u);
+}
+
+// Connections queue in the listener's backlog until the application gets
+// around to accepting them.
+TEST(SocketObjects, ListenerBacklogHoldsPendingAccepts) {
+  Testbed tb(options(StackMode::kSplitSyscall));
+
+  AppActor* srv_app = tb.peer().add_app("srv");
+  TcpListener listener(*srv_app);
+  // No AcceptReady handling yet: connections must wait in the backlog.
+  listener.bind_listen(net::Ipv4Addr{}, 7100, 4, [](bool) {});
+
+  std::vector<std::unique_ptr<TcpSocket>> clients;
+  int connected = 0;
+  for (int i = 0; i < 3; ++i) {
+    AppActor* cli_app = tb.newtos().add_app("cli" + std::to_string(i));
+    auto sock = std::make_unique<TcpSocket>(*cli_app);
+    sock->on_event([&](net::TcpEvent ev) {
+      if (ev == net::TcpEvent::Connected) ++connected;
+    });
+    sock->connect(tb.newtos().peer_addr(0), 7100, [](bool) {});
+    clients.push_back(std::move(sock));
+  }
+
+  tb.run_until(500 * sim::kMillisecond);
+  EXPECT_EQ(connected, 3);
+
+  // Now drain the backlog in one go.
+  std::vector<std::unique_ptr<TcpSocket>> accepted;
+  srv_app->call([&](sim::Context&) {
+    while (auto c = listener.accept()) accepted.push_back(std::move(c));
+  });
+  tb.run_until(600 * sim::kMillisecond);
+  EXPECT_EQ(accepted.size(), 3u);
+}
+
+// Completions of one SQ flush arrive in submission order, under a single
+// doorbell: open -> bind -> connect, where the later ops name the socket
+// the open creates (kSockFromBatchOpen).
+TEST(SocketRingBatching, CompletionsArriveInSubmissionOrder) {
+  Testbed tb(options(StackMode::kSplitSyscall));
+  AppActor* app = tb.newtos().add_app("app");
+  SocketRing& ring = app->ring();
+
+  std::vector<std::uint16_t> order;
+  std::vector<bool> oks;
+  auto record = [&](const SockCqe& c) {
+    order.push_back(c.opcode);
+    oks.push_back(c.ok);
+  };
+
+  SockSqe open;
+  open.opcode = servers::kSockOpen;
+  open.proto = 'U';
+  ring.enqueue(open, record);
+  SockSqe bind;
+  bind.opcode = servers::kSockBind;
+  bind.proto = 'U';
+  bind.sock = servers::kSockFromBatchOpen;
+  bind.arg1 = 5454;
+  ring.enqueue(bind, record);
+  SockSqe conn;
+  conn.opcode = servers::kSockConnect;
+  conn.proto = 'U';
+  conn.sock = servers::kSockFromBatchOpen;
+  conn.arg0 = tb.newtos().peer_addr(0).value;
+  conn.arg1 = 53;
+  ring.enqueue(conn, record);
+
+  tb.run_until(100 * sim::kMillisecond);
+
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], servers::kSockOpen);
+  EXPECT_EQ(order[1], servers::kSockBind);
+  EXPECT_EQ(order[2], servers::kSockConnect);
+  EXPECT_TRUE(oks[0]);
+  EXPECT_TRUE(oks[1]);  // the sentinel resolved to the socket just opened
+  EXPECT_TRUE(oks[2]);
+
+  // All three ops rode one doorbell — the amortization the rings exist for.
+  EXPECT_EQ(ring.ops(), 3u);
+  EXPECT_EQ(ring.doorbells(), 1u);
+  EXPECT_EQ(ring.completions(), 3u);
+}
+
+// Two sockets of the same protocol opening in one flush must not alias:
+// an op chained onto the FIRST socket after the SECOND's open was queued
+// cannot use the nearest-preceding-open sentinel — it is held back and
+// replayed with the real id instead.
+TEST(SocketRingBatching, TwoOpensInOneFlushDoNotAlias) {
+  Testbed tb(options(StackMode::kSplitSyscall));
+  AppActor* app = tb.newtos().add_app("app");
+  UdpSocket u1(*app);
+  UdpSocket u2(*app);
+
+  bool u1_bind = false;
+  bool u2_bind = false;
+  bool u1_conn = false;
+  u1.bind(net::Ipv4Addr{}, 6001, [&](bool ok) { u1_bind = ok; });
+  u2.bind(net::Ipv4Addr{}, 6002, [&](bool ok) { u2_bind = ok; });
+  // Queued after u2's open: must bind to u1, not the nearest open (u2).
+  u1.connect(tb.newtos().peer_addr(0), 53, [&](bool ok) { u1_conn = ok; });
+
+  tb.run_until(200 * sim::kMillisecond);
+  EXPECT_TRUE(u1_bind);
+  EXPECT_TRUE(u2_bind);
+  EXPECT_TRUE(u1_conn);
+  ASSERT_TRUE(u1.valid());
+  ASSERT_TRUE(u2.valid());
+  EXPECT_NE(u1.id(), u2.id());
+
+  // The connect must have landed on the socket bound to 6001.
+  for (const auto& rec : tb.newtos().udp_engine()->snapshot()) {
+    if (rec.lport == 6001) {
+      EXPECT_EQ(rec.pport, 53);
+    }
+    if (rec.lport == 6002) {
+      EXPECT_EQ(rec.pport, 0);
+    }
+  }
+}
+
+// The deprecated flat shim still works (a batch of one per call).
+TEST(SocketApiShim, OpenCloseRoundTrip) {
+  Testbed tb(options(StackMode::kSplitSyscall));
+  AppActor* app = tb.newtos().add_app("legacy");
+  SocketApi& api = tb.newtos().sockets();
+
+  SocketApi::Handle handle;
+  api.open(*app, 'T', [&](SocketApi::Handle h) { handle = h; });
+  tb.run_until(50 * sim::kMillisecond);
+  EXPECT_TRUE(handle.valid());
+
+  bool closed = false;
+  api.close(*app, handle, [&](bool ok) { closed = ok; });
+  tb.run_until(100 * sim::kMillisecond);
+  EXPECT_TRUE(closed);
+}
