@@ -66,6 +66,67 @@ bool Pool::live(const RichPtr& p) const {
   return it != chunks_.end() && it->second.length >= p.length;
 }
 
+std::map<std::uint32_t, Pool::Chunk>::const_iterator Pool::find_containing(
+    const RichPtr& p) const {
+  if (p.pool != id_ || p.generation != generation_ || !p.valid())
+    return chunks_.end();
+  auto it = chunks_.upper_bound(p.offset);
+  if (it == chunks_.begin()) return chunks_.end();
+  --it;
+  const std::uint64_t base = it->first;
+  const std::uint64_t end = base + it->second.length;
+  if (p.offset < base ||
+      static_cast<std::uint64_t>(p.offset) + p.length > end)
+    return chunks_.end();
+  return it;
+}
+
+RichPtr Pool::containing(const RichPtr& p) const {
+  auto it = find_containing(p);
+  if (it == chunks_.end()) return kNullRichPtr;
+  return RichPtr{id_, it->first, it->second.length, generation_};
+}
+
+void Pool::note_borrow(const RichPtr& p, std::uint32_t borrower) {
+  auto it = find_containing(p);
+  if (it == chunks_.end()) return;
+  ++ledger_[borrower][it->first];
+  ++borrows_outstanding_;
+}
+
+bool Pool::note_return(const RichPtr& p, std::uint32_t borrower) {
+  if (p.pool != id_ || p.generation != generation_) return false;
+  auto lit = ledger_.find(borrower);
+  if (lit == ledger_.end()) return false;
+  auto cit = find_containing(p);
+  if (cit == chunks_.end()) return false;
+  auto eit = lit->second.find(cit->first);
+  if (eit == lit->second.end()) return false;
+  if (--eit->second == 0) lit->second.erase(eit);
+  if (lit->second.empty()) ledger_.erase(lit);
+  --borrows_outstanding_;
+  return true;
+}
+
+std::size_t Pool::reclaim(std::uint32_t borrower) {
+  auto lit = ledger_.find(borrower);
+  if (lit == ledger_.end()) return 0;
+  // Move out first: release() mutates chunks_ but not the ledger.
+  auto loans = std::move(lit->second);
+  ledger_.erase(lit);
+  std::size_t reclaimed = 0;
+  for (const auto& [offset, count] : loans) {
+    borrows_outstanding_ -= count;
+    for (std::uint32_t k = 0; k < count; ++k) {
+      auto cit = chunks_.find(offset);
+      if (cit == chunks_.end()) break;  // already gone; nothing stranded
+      release(RichPtr{id_, offset, cit->second.length, generation_});
+      ++reclaimed;
+    }
+  }
+  return reclaimed;
+}
+
 std::span<std::byte> Pool::write_view(const RichPtr& p) {
   assert(live(p) && "write through a stale or foreign rich pointer");
   return {bytes_.data() + p.offset, p.length};
@@ -89,6 +150,8 @@ std::span<const std::byte> Pool::read_view(const RichPtr& p) const {
 void Pool::reset() {
   chunks_.clear();
   free_lists_.clear();
+  ledger_.clear();
+  borrows_outstanding_ = 0;
   bump_ = 0;
   bytes_live_ = 0;
   ++generation_;
@@ -118,6 +181,22 @@ const Pool* PoolRegistry::find(std::uint32_t id) const {
 std::span<const std::byte> PoolRegistry::read(const RichPtr& p) const {
   const Pool* pool = find(p.pool);
   return pool ? pool->read_view(p) : std::span<const std::byte>{};
+}
+
+bool PoolRegistry::release(const RichPtr& p) {
+  Pool* pool = find(p.pool);
+  if (pool == nullptr) return false;
+  const RichPtr full = pool->containing(p);
+  if (!full.valid()) return false;
+  pool->release(full);
+  return true;
+}
+
+std::vector<Pool*> PoolRegistry::all() {
+  std::vector<Pool*> out;
+  out.reserve(pools_.size());
+  for (auto& [id, pool] : pools_) out.push_back(pool.get());
+  return out;
 }
 
 }  // namespace newtos::chan

@@ -7,6 +7,22 @@
 // the network stack) and only the owner frees.  Pools are exported read-only
 // so a consumer can never corrupt the original data — if a request must be
 // repeated after a crash, the original bytes are still intact.
+//
+// Two extensions support the chunk-lending socket data plane:
+//
+//  - Sub-range handles.  Components pass packets as sub-range rich pointers
+//    into a chunk (a TCP segment references a slice of a send chunk; a
+//    forwarded payload references the data bytes inside a received frame).
+//    containing() resolves any live sub-range back to the chunk that owns
+//    it, so refcount operations can be expressed against slices.
+//
+//  - A borrow ledger.  When a reference leaves the stack's custody and is
+//    lent to an application (a borrowed datagram view, a send reservation),
+//    the loan is recorded per borrower.  A return is only honoured if the
+//    ledger knows about it — a double release or a release against a reset
+//    pool (stale generation) becomes a safe no-op — and reclaim() frees
+//    everything a crashed borrower still held, so a loan can never strand
+//    a chunk.
 #pragma once
 
 #include <cstddef>
@@ -58,6 +74,25 @@ class Pool {
   // True when `p` names a live chunk of the current generation.
   bool live(const RichPtr& p) const;
 
+  // Resolves a (possibly sub-range) pointer to the full chunk containing
+  // it.  Null when the pointer is stale, foreign, or out of any live chunk.
+  RichPtr containing(const RichPtr& p) const;
+
+  // --- chunk lending (owner-side loan ledger, Section V-C) -----------------------
+  // Records that `borrower` now holds one of `p`'s existing references (the
+  // refcount itself does not change — the reference moved out of the
+  // stack's custody, it was not duplicated).
+  void note_borrow(const RichPtr& p, std::uint32_t borrower);
+  // Erases one recorded loan.  Returns false — and the caller must NOT
+  // release — when no loan is on record: a double return, a stale pointer
+  // after reset(), or a foreign pointer.
+  bool note_return(const RichPtr& p, std::uint32_t borrower);
+  // Crash cleanup: releases every reference `borrower` still has on loan.
+  // Returns how many chunk references were reclaimed.
+  std::size_t reclaim(std::uint32_t borrower);
+  // Outstanding loans (all borrowers) — the Testbed teardown leak check.
+  std::size_t borrows_outstanding() const { return borrows_outstanding_; }
+
   // Crash support: drops every chunk and bumps the generation, so all
   // outstanding rich pointers into this pool become stale.
   void reset();
@@ -75,6 +110,9 @@ class Pool {
   };
 
   static std::uint32_t round_chunk(std::uint32_t len);
+  // Iterator to the live chunk containing `p`, or chunks_.end().
+  std::map<std::uint32_t, Chunk>::const_iterator find_containing(
+      const RichPtr& p) const;
 
   std::uint32_t id_;
   std::string name_;
@@ -82,10 +120,17 @@ class Pool {
   std::uint32_t generation_ = 1;
 
   std::uint32_t bump_ = 0;  // high-water mark for fresh allocations
-  // offset -> live chunk metadata
-  std::unordered_map<std::uint32_t, Chunk> chunks_;
+  // offset -> live chunk metadata, ordered so sub-ranges resolve to their
+  // containing chunk
+  std::map<std::uint32_t, Chunk> chunks_;
   // rounded size -> reusable offsets (simple segregated free lists)
   std::map<std::uint32_t, std::vector<std::uint32_t>> free_lists_;
+
+  // borrower -> (chunk base offset -> loans outstanding)
+  std::unordered_map<std::uint32_t,
+                     std::unordered_map<std::uint32_t, std::uint32_t>>
+      ledger_;
+  std::size_t borrows_outstanding_ = 0;
 
   std::size_t bytes_live_ = 0;
   std::uint64_t total_allocs_ = 0;
@@ -107,6 +152,14 @@ class PoolRegistry {
 
   // Resolves a rich pointer to read-only bytes; empty span if stale/unknown.
   std::span<const std::byte> read(const RichPtr& p) const;
+
+  // Drops one reference on the chunk containing `p` (sub-ranges resolve to
+  // their owning chunk).  Safe on stale/unknown pointers; returns true when
+  // a reference was actually dropped.
+  bool release(const RichPtr& p);
+
+  // Every pool, for stats and leak checks.
+  std::vector<Pool*> all();
 
   std::size_t count() const { return pools_.size(); }
 

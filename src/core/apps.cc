@@ -68,11 +68,23 @@ void BulkSender::pump(sim::Context&) {
     return;
   }
   // Every send queued by this loop joins ONE ring flush — up to
-  // max_outstanding write submissions per kernel-IPC trap.
+  // max_outstanding write submissions per kernel-IPC trap.  The payload
+  // rides as a lent pool chunk filled in place: zero copies on the TX path.
   while (outstanding_ < cfg_.max_outstanding &&
          sock_->send_space() >= cfg_.write_size) {
+    SendReservation res = sock_->reserve(cfg_.write_size);
+    if (!res.valid()) {
+      if (!retry_scheduled_) {
+        retry_scheduled_ = true;
+        app_->call_after(20 * sim::kMillisecond, [this](sim::Context& ctx) {
+          retry_scheduled_ = false;
+          pump(ctx);
+        });
+      }
+      break;
+    }
     ++outstanding_;
-    sock_->send(cfg_.write_size, [this](bool ok) {
+    sock_->submit(std::move(res), [this](bool ok) {
       --outstanding_;
       if (ok) {
         node_.stats().add(cfg_.prefix + ".bytes", cfg_.write_size);
@@ -142,12 +154,14 @@ void BulkReceiver::on_listener_event(net::TcpEvent ev) {
 }
 
 void BulkReceiver::drain(TcpSocket& sock) {
-  static thread_local std::vector<std::byte> scratch(64 * 1024);
+  // Zero-copy drain: look at the lent chunk views, account them, hand the
+  // chunks straight back — iperf never needs the bytes anywhere else.
   for (;;) {
-    const std::size_t n = sock.recv(scratch);
-    if (n == 0) break;
-    bytes_ += n;
-    node_.stats().add(cfg_.prefix + ".bytes", n);
+    const RecvView v = sock.recv_zc();
+    if (v.empty()) break;
+    sock.consume(v.bytes);
+    bytes_ += v.bytes;
+    node_.stats().add(cfg_.prefix + ".bytes", v.bytes);
   }
 }
 
@@ -175,7 +189,10 @@ void EchoServer::on_listener_event(net::TcpEvent ev) {
     TcpSocket* c = conn.get();
     node_.stats().add(cfg_.prefix + ".accepted");
     conn->on_event([this, c](net::TcpEvent cev) {
-      if (cev == net::TcpEvent::Readable) {
+      if (cev == net::TcpEvent::Readable ||
+          cev == net::TcpEvent::Writable) {
+        // Writable resumes a splice that stalled on a full send buffer
+        // (forward() arms it when it leaves bytes behind).
         serve(*c);
       } else if (cev == net::TcpEvent::Reset || cev == net::TcpEvent::Closed ||
                  cev == net::TcpEvent::PeerClosed) {
@@ -188,12 +205,10 @@ void EchoServer::on_listener_event(net::TcpEvent ev) {
 }
 
 void EchoServer::serve(TcpSocket& sock) {
-  static thread_local std::vector<std::byte> scratch(4096);
+  // Zero-copy echo: splice the received chunks straight back onto the same
+  // socket's send queue (the paper's component hand-off, Section V-C).
   // The replies queued by this loop batch into one submission flush.
-  for (;;) {
-    const std::size_t n = sock.recv(scratch);
-    if (n == 0) break;
-    sock.send(static_cast<std::uint32_t>(n), {});
+  while (sock.forward(sock, 64 * 1024) > 0) {
   }
 }
 
@@ -230,8 +245,10 @@ void EchoClient::on_event(net::TcpEvent ev) {
       node_.stats().add(cfg_.prefix + ".connected");
       break;
     case net::TcpEvent::Readable: {
-      static thread_local std::vector<std::byte> scratch(512);
-      while (sock_ && sock_->recv(scratch) > 0) {
+      while (sock_) {
+        const RecvView v = sock_->recv_zc();
+        if (v.empty()) break;
+        sock_->consume(v.bytes);
       }
       if (awaiting_reply_) {
         awaiting_reply_ = false;
@@ -286,10 +303,14 @@ void DnsServer::start() {
   app_->call([this](sim::Context&) {
     sock_ = std::make_unique<UdpSocket>(*app_);
     sock_->on_event([this](net::TcpEvent) {
-      // Every response queued by this loop batches into one flush.
-      while (auto d = sock_->recvfrom()) {
-        sock_->sendto(static_cast<std::uint32_t>(d->data.size()), d->src,
-                      d->sport, {});
+      // Every response queued by this loop batches into one flush.  The
+      // query arrives as a borrowed view; the answer is built in place in
+      // a reserved chunk — no payload copies either way.
+      while (auto d = sock_->recvfrom_zc()) {
+        SendReservation res = sock_->reserve(
+            static_cast<std::uint32_t>(d->data().size()));
+        if (!res.valid()) continue;  // ENOBUFS: drop, client retries
+        sock_->submit(std::move(res), d->src(), d->sport(), {});
       }
     });
     // open + bind: one flush.
@@ -304,7 +325,7 @@ void DnsClient::start() {
   app_->call([this](sim::Context&) {
     sock_ = std::make_unique<UdpSocket>(*app_);
     sock_->on_event([this](net::TcpEvent) {
-      while (sock_->recvfrom()) {
+      while (sock_->recvfrom_zc()) {  // borrowed view, released immediately
         ++answered_;
         node_.stats().add(cfg_.prefix + ".answered");
       }

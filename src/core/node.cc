@@ -264,6 +264,7 @@ AppActor* Node::add_app(const std::string& name) {
   auto app = std::make_unique<AppActor>(&env_, name, fresh_core(name));
   AppActor* p = app.get();
   p->attach_ring(std::make_unique<SocketRing>(*this, *p));
+  p->set_borrower_id(next_borrower_++);
   apps_.push_back(std::move(app));
   p->boot(false);
   return p;

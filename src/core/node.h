@@ -123,6 +123,7 @@ class Node {
 
   std::unique_ptr<SocketApi> sockets_;
   sim::SimCore* shared_core_ = nullptr;  // MINIX mode: one core for all
+  std::uint32_t next_borrower_ = 1;      // pool loan-ledger ids for apps
   bool requires_reboot_ = false;
 };
 

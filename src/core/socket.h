@@ -14,11 +14,21 @@
 // into the transport's pool (Section V-B, "the actual data bypass the
 // SYSCALL").
 //
+// Since the chunk-lending redesign the data plane is zero-copy end to end
+// (Section V-C): recv_zc()/consume() lend the application read-only views
+// over the live pool chunks in the receive queue, reserve()/submit() lend
+// it writable chunks it fills in place and submits as a rich-pointer chain,
+// and forward() re-submits received chunks on another socket without
+// touching a byte.  recv(span)/send(len) survive as thin copying wrappers
+// over the same machinery; every byte they copy shows up in the node's
+// "sock.bytes_copied" counter, which stays at zero on the lending paths.
+//
 // TcpSocket / UdpSocket / TcpListener are RAII handles owned by application
 // code: destroying one closes the kernel socket (batched like any other op)
 // and unregisters its event handler.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -53,14 +63,101 @@ class AppActor : public servers::Server {
   SocketRing& ring() { return *ring_; }
   void attach_ring(std::unique_ptr<SocketRing> ring);
 
+  // Identity under which this app appears in the pools' loan ledgers
+  // (borrowed datagram views, send reservations).  Set by Node::add_app.
+  std::uint32_t borrower_id() const { return borrower_id_; }
+  void set_borrower_id(std::uint32_t id) { borrower_id_ = id; }
+
  protected:
   void start(bool restart) override;
   void on_message(const std::string&, const chan::Message&,
                   sim::Context&) override {}
+  // A dying app cannot return its loans: reclaim every chunk it still
+  // borrowed so a crash never strands one (Pool::reclaim).
+  void on_killed() override;
 
  private:
   std::function<void(sim::Context&)> main_;
   std::unique_ptr<SocketRing> ring_;
+  std::uint32_t borrower_id_ = 0;
+};
+
+// --- zero-copy data-plane currency (Section V-C) -------------------------------------
+
+// A bounded scatter list of read-only views over the live pool chunks that
+// hold a TCP socket's in-order received data.  No bytes move; the views
+// stay valid until the application consume()s past them (or the handler
+// turn ends — do not stash a RecvView).
+struct RecvView {
+  static constexpr std::size_t kMaxChunks = 8;
+  std::array<std::span<const std::byte>, kMaxChunks> chunk{};
+  std::size_t chunks = 0;
+  std::size_t bytes = 0;
+  bool empty() const { return bytes == 0; }
+};
+
+// Writable pool chunks obtained once and filled in place — the exported
+// socket buffer of Section V-B, handed out as an explicit loan.  submit()
+// (on the owning socket) passes the chunk chain down the submission ring
+// without copying; destroying an unsubmitted reservation returns the loan.
+class SendReservation {
+ public:
+  SendReservation() = default;
+  SendReservation(SendReservation&& o) noexcept;
+  SendReservation& operator=(SendReservation&& o) noexcept;
+  ~SendReservation() { cancel(); }
+  SendReservation(const SendReservation&) = delete;
+  SendReservation& operator=(const SendReservation&) = delete;
+
+  bool valid() const { return !chunks_.empty(); }
+  std::size_t size() const { return bytes_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+  // Writable in-place view of chunk `i` (stale after a transport restart
+  // reset the pool; the span is then empty).
+  std::span<std::byte> chunk(std::size_t i);
+  // Returns the chunks to the pool without sending.  Safe to call twice.
+  void cancel();
+
+ private:
+  friend class TcpSocket;
+  friend class UdpSocket;
+
+  Node* node_ = nullptr;
+  std::uint32_t borrower_ = 0;
+  std::size_t bytes_ = 0;
+  std::vector<chan::RichPtr> chunks_;
+};
+
+// A datagram lent to the application: a read-only view straight into the
+// receive-pool frame the NIC wrote.  The frame reference travels with this
+// object; release() (or the destructor) hands it back to the owning pool
+// exactly once — double releases and releases against a reset pool (stale
+// generation) are safe no-ops thanks to the pool's loan ledger.
+class BorrowedDatagram {
+ public:
+  BorrowedDatagram() = default;
+  BorrowedDatagram(BorrowedDatagram&& o) noexcept;
+  BorrowedDatagram& operator=(BorrowedDatagram&& o) noexcept;
+  ~BorrowedDatagram() { release(); }
+  BorrowedDatagram(const BorrowedDatagram&) = delete;
+  BorrowedDatagram& operator=(const BorrowedDatagram&) = delete;
+
+  bool valid() const { return frame_.valid(); }
+  // Empty once the owning pool was reset (the loan went stale).
+  std::span<const std::byte> data() const;
+  net::Ipv4Addr src() const { return src_; }
+  std::uint16_t sport() const { return sport_; }
+  void release();
+
+ private:
+  friend class UdpSocket;
+
+  Node* node_ = nullptr;
+  std::uint32_t borrower_ = 0;
+  chan::RichPtr frame_;
+  chan::RichPtr data_;
+  net::Ipv4Addr src_;
+  std::uint16_t sport_ = 0;
 };
 
 using SockStatusFn = std::function<void(bool ok)>;
@@ -98,6 +195,10 @@ class Socket {
     bool opening = false;
     bool closed = false;
     std::uint64_t open_cookie = 0;
+    // Payload bytes submitted but not yet completed by the transport.
+    // forward() subtracts this from the engine's send space so it never
+    // consumes bytes an un-flushed submission will already occupy.
+    std::uint64_t inflight_tx = 0;
     // Ops issued after the open's batch already flushed but before its
     // completion arrived; replayed (with the real id) when it does.
     std::vector<std::pair<SockSqe, SocketRing::CompletionFn>> deferred;
@@ -135,14 +236,46 @@ class TcpSocket : public Socket {
   // the transport accepted the call; the Connected/Reset event reports the
   // handshake outcome.
   void connect(net::Ipv4Addr dst, std::uint16_t port, SockStatusFn cb);
-  // Copies `len` bytes into the exported socket buffer (data fast path)
-  // and queues the send submission (control path).
+  // LEGACY copy path: copies `len` bytes into the exported socket buffer
+  // (counted in "sock.bytes_copied") and queues the send submission.  A
+  // thin wrapper over reserve()+submit().
   void send(std::uint32_t len, SockStatusFn cb);
+
+  // --- zero-copy data plane (chunk lending, Section V-C) --------------------------
+  // Views over the live pool chunks holding the in-order received stream.
+  // (Purges stale front chunks — a pool the owner reset — as a side
+  // effect, so the queue can never wedge behind dead frames.)
+  RecvView recv_zc();
+  // Advances the stream by up to `n` bytes: releases fully consumed chunks
+  // back to their owner and drives the window-update logic.  Returns the
+  // bytes consumed.  Invalidates outstanding RecvViews.
+  std::size_t consume(std::size_t n);
+  // Obtains writable pool chunks covering `len` bytes, split into pieces of
+  // at most `chunk_bytes` (0 = one chunk).  !valid() on pool exhaustion
+  // ("sock.enobufs" counts it); nothing was queued in that case.
+  SendReservation reserve(std::uint32_t len, std::uint32_t chunk_bytes = 0);
+  // Submits a filled reservation: one kSockSend per chunk, all riding the
+  // same flush — the rich-pointer chain travels untouched to the NIC.  `cb`
+  // fires once with the combined outcome (err kSockENoBufs for an invalid
+  // reservation).
+  void submit(SendReservation res, SockStatusFn cb = {});
+  // Zero-copy splice: re-submits up to `max_bytes` of received chunks on
+  // `dst` (same node) without touching the bytes, consuming them from this
+  // socket.  Bounded by dst's send space.  Returns the bytes moved.
+  std::size_t forward(TcpSocket& dst, std::size_t max_bytes,
+                      SockStatusFn cb = {});
 
   // --- data fast path (exported socket buffers, Section V-B) ---------------------
   std::size_t send_space() const;
+  // LEGACY copy path over recv_zc()/consume(); counted in
+  // "sock.bytes_copied".
   std::size_t recv(std::span<std::byte> out);
   std::size_t recv_available() const;
+
+ private:
+  // Submits `pieces` as kSockSend ops riding one flush, with in-flight
+  // byte accounting and one aggregate completion for the whole chain.
+  void submit_chain(std::vector<chan::RichPtr> pieces, SockStatusFn cb);
 };
 
 // A passive TCP socket.
@@ -167,12 +300,24 @@ class UdpSocket : public Socket {
   void bind(net::Ipv4Addr addr, std::uint16_t port, SockStatusFn cb);
   // Presets the peer; datagrams from others are filtered by the engine.
   void connect(net::Ipv4Addr peer, std::uint16_t port, SockStatusFn cb);
-  // Copies `len` payload bytes into the exported buffer and queues the
-  // datagram; a zero `dst` uses the connected peer.
+  // LEGACY copy path: copies `len` payload bytes into the exported buffer
+  // (counted in "sock.bytes_copied") and queues the datagram; a zero `dst`
+  // uses the connected peer.  A thin wrapper over reserve()+submit().
   void sendto(std::uint32_t len, net::Ipv4Addr dst, std::uint16_t port,
               SockStatusFn cb);
 
-  // Fast path.
+  // --- zero-copy data plane (chunk lending, Section V-C) --------------------------
+  // One writable chunk for a `len`-byte datagram; !valid() on exhaustion.
+  SendReservation reserve(std::uint32_t len);
+  // Submits the filled chunk as the datagram payload, no copy.  A zero
+  // `dst` uses the connected peer.
+  void submit(SendReservation res, net::Ipv4Addr dst, std::uint16_t port,
+              SockStatusFn cb = {});
+  // Borrows the next datagram as a view into the live receive-pool frame;
+  // the caller releases it (RAII) when done.
+  std::optional<BorrowedDatagram> recvfrom_zc();
+
+  // LEGACY copy path over recvfrom_zc(); counted in "sock.bytes_copied".
   std::optional<net::UdpEngine::Datagram> recvfrom();
 };
 

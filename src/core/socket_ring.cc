@@ -112,7 +112,7 @@ void SocketRing::route_direct(std::vector<SockSqe> batch) {
   if (cfg.combined_stack()) {
     servers::StackServer* stack = node_.stack_server();
     if (stack == nullptr || !stack->alive()) {
-      for (const auto& op : batch) fail(op);
+      for (const auto& op : batch) fail(op, kSockEDown);
       return;
     }
     // Direct kernel IPC into the combined stack: it pays one (cold) trap
@@ -154,7 +154,7 @@ void SocketRing::route_direct(std::vector<SockSqe> batch) {
         proto == 'T' ? servers::kTcpName : servers::kUdpName;
     servers::Server* srv = node_.server(target);
     if (srv == nullptr || !srv->alive()) {
-      for (const auto& op : sub) fail(op);
+      for (const auto& op : sub) fail(op, kSockEDown);
       continue;
     }
     const sim::Cycles reply_toll =
@@ -194,22 +194,27 @@ void SocketRing::on_reply(std::uint64_t cookie, std::uint16_t opcode,
   c.value = arg0;
   c.ok = (flags & 1) == 0 &&
          (opcode == servers::kSockClose || arg0 != 0);
+  c.err = c.ok ? kSockOk : kSockERejected;
   push_cqe(c);
 }
 
-void SocketRing::fail(const SockSqe& op) {
+void SocketRing::fail_local(SockSqe op, CompletionFn cb, std::uint16_t err) {
+  op.cookie = next_cookie_++;
+  cbs_[op.cookie] = PendingCb{op.opcode, std::move(cb)};
+  fail(op, err);
+}
+
+void SocketRing::fail(const SockSqe& op, std::uint16_t err) {
   // The op never reached a transport: hand any pre-allocated payload back
   // to its pool (the engine only takes ownership once the op executes).
-  if (op.payload.valid()) {
-    if (chan::Pool* pool = node_.pools().find(op.payload.pool)) {
-      pool->release(op.payload);
-    }
-  }
+  // Forwarded payloads are sub-ranges; the registry resolves the owner.
+  node_.pools().release(op.payload);
   SockCqe c;
   c.cookie = op.cookie;
   c.opcode = op.opcode;
   c.sock = op.sock;
   c.ok = false;
+  c.err = err;
   push_cqe(c);
 }
 

@@ -42,12 +42,23 @@ struct SockSqe {
   std::uint64_t cookie = 0;  // assigned by enqueue()
 };
 
+// Why a completion failed (SockCqe::err).  ENOBUFS-style conditions are
+// distinguishable so applications can apply backpressure instead of
+// treating transient pool exhaustion like a dead socket.
+enum SockErr : std::uint16_t {
+  kSockOk = 0,
+  kSockENoBufs,    // payload pool exhausted; retry after completions drain
+  kSockERejected,  // the transport refused the op (bad state, full queue, ...)
+  kSockEDown,      // no transport to take the op
+};
+
 // One completion-queue entry.
 struct SockCqe {
   std::uint64_t cookie = 0;
   std::uint16_t opcode = 0;  // the submitted op
   std::uint32_t sock = 0;    // the socket acted on (the new id for open)
   bool ok = false;
+  std::uint16_t err = kSockOk;
   std::uint64_t value = 0;   // reply arg0 (e.g. the id an open returned)
 };
 
@@ -62,6 +73,12 @@ class SocketRing {
   // rides the same flush.  Returns false (and posts an error completion)
   // when the SQ is full — never blocks.
   bool enqueue(SockSqe op, CompletionFn cb);
+
+  // Completes `op` locally with an error CQE — it never reaches the SQ.
+  // Used when submission-side staging fails (e.g. ENOBUFS from the payload
+  // pool) so the failure flows through the ordinary completion path instead
+  // of a side-channel callback.
+  void fail_local(SockSqe op, CompletionFn cb, std::uint16_t err);
 
   // Cookie of the most recent enqueue.
   std::uint64_t last_cookie() const { return next_cookie_ - 1; }
@@ -90,6 +107,9 @@ class SocketRing {
   std::uint64_t cq_drains() const { return cq_drains_; }
   std::uint64_t sq_overflows() const { return sq_overflows_; }
   std::size_t pending() const { return sq_.size(); }
+  // SQ slots still free this flush window (forward() budgets against it so
+  // a spliced chain never overflows into error completions).
+  std::size_t sq_free() const { return sq_.capacity() - sq_.size(); }
 
  private:
   struct PendingCb {
@@ -104,7 +124,7 @@ class SocketRing {
   // CQ drain (one kernel message back into the app covers all of them).
   void on_reply(std::uint64_t cookie, std::uint16_t opcode,
                 std::uint16_t flags, std::uint32_t sock, std::uint64_t arg0);
-  void fail(const SockSqe& op);
+  void fail(const SockSqe& op, std::uint16_t err = kSockERejected);
   void push_cqe(const SockCqe& cqe);
   void drain_cq();
 

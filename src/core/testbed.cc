@@ -1,6 +1,31 @@
 #include "src/core/testbed.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace newtos {
+
+namespace {
+
+// The teardown assertion of the chunk-lending API: every loan a pool
+// handed to an application (borrowed view, send reservation) must have
+// been returned by the time the testbed dies.  A refcount bug in the
+// lending paths fails loudly here, in every existing test.
+void check_loan_leaks(Node& node) {
+  bool leaked = false;
+  for (chan::Pool* pool : node.pools().all()) {
+    const std::size_t loans = pool->borrows_outstanding();
+    if (loans == 0) continue;
+    leaked = true;
+    std::fprintf(stderr,
+                 "chunk-lending leak: pool \"%s\" still has %zu chunk(s) "
+                 "on loan at Testbed teardown\n",
+                 pool->name().c_str(), loans);
+  }
+  if (leaked) std::abort();
+}
+
+}  // namespace
 
 Testbed::Testbed(const TestbedOptions& opts) {
   NodeConfig left;
@@ -43,6 +68,11 @@ Testbed::Testbed(const TestbedOptions& opts) {
 
   left_->boot();
   right_->boot();
+}
+
+Testbed::~Testbed() {
+  check_loan_leaks(*left_);
+  check_loan_leaks(*right_);
 }
 
 }  // namespace newtos

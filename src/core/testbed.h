@@ -31,6 +31,11 @@ struct TestbedOptions {
 class Testbed {
  public:
   explicit Testbed(const TestbedOptions& opts);
+  // Chunk-leak backstop for the lending data plane: aborts (in every build
+  // type) when any pool on either node still has loans outstanding —
+  // a borrowed datagram view or send reservation that was never returned.
+  // Runs at the end of every test/bench that uses a Testbed.
+  ~Testbed();
 
   sim::Simulator& sim() { return sim_; }
   Node& newtos() { return *left_; }  // the system under test

@@ -32,10 +32,20 @@ TcpEngine::~TcpEngine() {
     if (c.rto_timer) env_.timers->cancel(c.rto_timer);
     if (c.ack_timer) env_.timers->cancel(c.ack_timer);
     if (c.timewait_timer) env_.timers->cancel(c.timewait_timer);
-    for (auto& sc : c.sndq) env_.buf_pool->release(sc.chunk);
+    for (auto& sc : c.sndq) release_payload(sc.chunk);
     for (auto& rc : c.rcvq) env_.rx_done(rc.frame);
   }
   for (auto& [cookie, hdr] : hdr_inflight_) env_.buf_pool->release(hdr);
+}
+
+void TcpEngine::release_payload(const chan::RichPtr& p) {
+  // Forwarded payloads are sub-ranges of frames in a foreign (receive)
+  // pool; our own send chunks resolve to themselves.  The registry models
+  // the consumer's done-report back to the owning component.  A stale
+  // pointer (the owner reset its pool) must NOT fall back to any other
+  // pool: offsets are meaningless across pools.
+  if (!p.valid()) return;
+  env_.pools->release(p);
 }
 
 void TcpEngine::notify(SockId s, TcpEvent e) {
@@ -178,7 +188,7 @@ bool TcpEngine::send(SockId s, chan::RichPtr payload) {
         c->sndq_bytes + payload.length > opts_.sndbuf_max) {
       c->was_send_blocked = true;  // Writable fires when ACKs free space
     }
-    if (payload.valid()) env_.buf_pool->release(payload);
+    if (payload.valid()) release_payload(payload);
     return false;
   }
   SendChunk sc;
@@ -196,24 +206,36 @@ std::size_t TcpEngine::recv_available(SockId s) const {
   return c == nullptr ? 0 : c->rcvq_bytes;
 }
 
-std::size_t TcpEngine::recv(SockId s, std::span<std::byte> out) {
+std::size_t TcpEngine::peek(SockId s, std::span<PeekChunk> out) const {
+  const Conn* c = conn_for(s);
+  if (c == nullptr || out.empty()) return 0;
+  std::size_t n = 0;
+  for (const RecvChunk& rc : c->rcvq) {
+    if (n == out.size()) break;
+    const std::uint16_t avail = rc.len - rc.consumed;
+    if (avail == 0) continue;
+    PeekChunk pc;
+    pc.frame = rc.frame;
+    pc.data = rc.frame;
+    pc.data.offset = rc.frame.offset + rc.offset + rc.consumed;
+    pc.data.length = avail;
+    out[n++] = pc;
+  }
+  return n;
+}
+
+std::size_t TcpEngine::consume(SockId s, std::size_t n) {
   Conn* c = conn_for(s);
   if (c == nullptr) return 0;
-  std::size_t copied = 0;
+  std::size_t done = 0;
   const std::uint32_t space_before = rcv_space(*c);
-  while (copied < out.size() && !c->rcvq.empty()) {
+  while (done < n && !c->rcvq.empty()) {
     RecvChunk& rc = c->rcvq.front();
-    const std::size_t want = out.size() - copied;
     const std::size_t avail = rc.len - rc.consumed;
-    const std::size_t n = std::min(want, avail);
-    auto bytes = env_.pools->read(rc.frame);
-    if (bytes.size() >= static_cast<std::size_t>(rc.offset) + rc.len) {
-      std::memcpy(out.data() + copied,
-                  bytes.data() + rc.offset + rc.consumed, n);
-    }
-    rc.consumed += static_cast<std::uint16_t>(n);
-    copied += n;
-    c->rcvq_bytes -= static_cast<std::uint32_t>(n);
+    const std::size_t take = std::min(n - done, avail);
+    rc.consumed += static_cast<std::uint16_t>(take);
+    done += take;
+    c->rcvq_bytes -= static_cast<std::uint32_t>(take);
     if (rc.consumed == rc.len) {
       env_.rx_done(rc.frame);
       c->rcvq.pop_front();
@@ -221,9 +243,39 @@ std::size_t TcpEngine::recv(SockId s, std::span<std::byte> out) {
   }
   // Window update: if the window was effectively closed and just reopened,
   // tell the peer (we have no persist timer; see DESIGN.md).
-  if (copied > 0 && space_before < opts_.mss &&
-      rcv_space(*c) >= opts_.mss && c->state == TcpState::Established) {
+  if (done > 0 && space_before < opts_.mss && rcv_space(*c) >= opts_.mss &&
+      c->state == TcpState::Established) {
     send_ack(*c);
+  }
+  return done;
+}
+
+void TcpEngine::want_writable(SockId s) {
+  Conn* c = conn_for(s);
+  if (c != nullptr) c->was_send_blocked = true;
+}
+
+std::size_t TcpEngine::recv(SockId s, std::span<std::byte> out) {
+  std::size_t copied = 0;
+  for (;;) {
+    PeekChunk pcs[8];
+    const std::size_t k = peek(s, pcs);
+    if (k == 0) break;
+    std::size_t round = 0;
+    for (std::size_t i = 0; i < k && copied < out.size(); ++i) {
+      const std::size_t want = out.size() - copied;
+      const std::size_t n =
+          std::min(want, static_cast<std::size_t>(pcs[i].data.length));
+      auto bytes = env_.pools->read(pcs[i].data);
+      if (bytes.size() >= n) {
+        std::memcpy(out.data() + copied, bytes.data(), n);
+      }
+      copied += n;
+      round += n;
+    }
+    if (round == 0) break;
+    consume(s, round);
+    if (copied == out.size()) break;
   }
   return copied;
 }
@@ -634,7 +686,7 @@ void TcpEngine::process_ack(Conn& c, const TcpHeader& h) {
       const SendChunk& front = c.sndq.front();
       if (!seq_leq(front.seq + front.chunk.length, ack)) break;
       c.sndq_bytes -= front.chunk.length;
-      env_.buf_pool->release(front.chunk);
+      release_payload(front.chunk);
       c.sndq.pop_front();
     }
 
@@ -936,7 +988,7 @@ void TcpEngine::destroy_conn(SockId s, bool notify_reset) {
   if (c.rto_timer) env_.timers->cancel(c.rto_timer);
   if (c.ack_timer) env_.timers->cancel(c.ack_timer);
   if (c.timewait_timer) env_.timers->cancel(c.timewait_timer);
-  for (auto& sc : c.sndq) env_.buf_pool->release(sc.chunk);
+  for (auto& sc : c.sndq) release_payload(sc.chunk);
   for (auto& rc : c.rcvq) env_.rx_done(rc.frame);
   by_tuple_.erase(ConnKey{c.peer.value, c.pport, c.lport});
   const bool was_established = c.state == TcpState::Established ||

@@ -124,11 +124,37 @@ class TcpEngine {
 
   std::size_t send_space(SockId s) const;
   chan::RichPtr alloc_payload(std::uint32_t len);
-  // Enqueues `payload` (ownership passes; must come from alloc_payload).
+  // Enqueues `payload` — one reference's worth of ownership passes to the
+  // engine.  Usually a chunk from alloc_payload; a forwarded payload may be
+  // a sub-range of any live pool chunk (the engine releases the containing
+  // chunk, through its owning pool, once the bytes are ACKed).
   bool send(SockId s, chan::RichPtr payload);
   std::size_t recv_available(SockId s) const;
   // Copies up to out.size() bytes of in-order data; releases consumed frames.
+  // Legacy copy path: implemented over peek()/consume().
   std::size_t recv(SockId s, std::span<std::byte> out);
+
+  // --- zero-copy receive (Section V-C) -----------------------------------------
+  // One unconsumed in-order piece of the receive queue.  `data` is a
+  // read-only sub-range rich pointer over the payload bytes still queued in
+  // the live frame chunk; `frame` is the whole chunk (what forward() bumps
+  // a reference on).  No bytes move; the engine keeps its frame references
+  // until consume().
+  struct PeekChunk {
+    chan::RichPtr frame;
+    chan::RichPtr data;
+  };
+  // Fills `out` with up to out.size() pieces from the front of the receive
+  // queue; returns the piece count.
+  std::size_t peek(SockId s, std::span<PeekChunk> out) const;
+  // Advances the stream by up to `n` bytes: releases fully consumed frames
+  // (rx_done back to their owner) and sends the window-reopen ACK exactly
+  // like recv() always did.  Returns the bytes actually consumed.
+  std::size_t consume(SockId s, std::size_t n);
+  // Asks for a Writable notification once send space frees up (what a
+  // failed send() arms implicitly; forward() uses it when bounded by the
+  // destination's send space).
+  void want_writable(SockId s);
   // Graceful close.  Returns false for unknown sockets.
   bool close(SockId s);
   // Hard reset.
@@ -176,6 +202,15 @@ class TcpEngine {
   const Stats& stats() const { return stats_; }
   const TcpOptions& options() const { return opts_; }
   std::size_t connection_count() const { return conns_.size(); }
+
+  // Teardown/crash support: replaces the rx_done report with a direct
+  // release through the pool registry.  A dying or destructed host has no
+  // handler context to send kL4RxDone messages from.
+  void detach_rx_done() {
+    env_.rx_done = [pools = env_.pools](const chan::RichPtr& frame) {
+      pools->release(frame);
+    };
+  }
 
  private:
   struct SendChunk {
@@ -260,6 +295,9 @@ class TcpEngine {
 
   Conn* conn_for(SockId s);
   const Conn* conn_for(SockId s) const;
+  // Releases one reference on a payload chunk through its owning pool
+  // (resolves sub-ranges; forwarded payloads live in foreign pools).
+  void release_payload(const chan::RichPtr& p);
   Conn* conn_by_tuple(Ipv4Addr peer, std::uint16_t pport, std::uint16_t lport);
   std::uint16_t ephemeral_port();
   std::uint32_t next_isn();

@@ -7,6 +7,16 @@ namespace newtos::net {
 
 UdpEngine::UdpEngine(Env env) : env_(std::move(env)) {}
 
+UdpEngine::~UdpEngine() {
+  for (auto& [id, sock] : socks_) {
+    for (auto& item : sock.rxq) env_.rx_done(item.frame);
+  }
+  for (auto& [cookie, seg] : inflight_) {
+    env_.buf_pool->release(seg.header);
+    if (seg.payload.valid()) env_.buf_pool->release(seg.payload);
+  }
+}
+
 UdpEngine::Sock* UdpEngine::find(SockId s) {
   auto it = socks_.find(s);
   return it == socks_.end() ? nullptr : &it->second;
@@ -172,21 +182,30 @@ bool UdpEngine::readable(SockId s) const {
   return sock != nullptr && !sock->rxq.empty();
 }
 
-std::optional<UdpEngine::Datagram> UdpEngine::recv(SockId s) {
+std::optional<UdpEngine::BorrowedRx> UdpEngine::recv_zc(SockId s) {
   Sock* sock = find(s);
   if (sock == nullptr || sock->rxq.empty()) return std::nullopt;
   RxItem item = sock->rxq.front();
   sock->rxq.pop_front();
+  BorrowedRx b;
+  b.frame = item.frame;
+  b.data = item.frame;
+  b.data.offset = item.frame.offset + item.data_offset;
+  b.data.length = item.data_len;
+  b.src = item.src;
+  b.sport = item.sport;
+  return b;
+}
+
+std::optional<UdpEngine::Datagram> UdpEngine::recv(SockId s) {
+  auto b = recv_zc(s);
+  if (!b) return std::nullopt;
   Datagram d;
-  auto bytes = env_.pools->read(item.frame);
-  if (bytes.size() >=
-      static_cast<std::size_t>(item.data_offset) + item.data_len) {
-    auto payload = bytes.subspan(item.data_offset, item.data_len);
-    d.data.assign(payload.begin(), payload.end());
-  }
-  d.src = item.src;
-  d.sport = item.sport;
-  env_.rx_done(item.frame);
+  auto payload = env_.pools->read(b->data);
+  d.data.assign(payload.begin(), payload.end());
+  d.src = b->src;
+  d.sport = b->sport;
+  env_.rx_done(b->frame);
   return d;
 }
 

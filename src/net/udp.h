@@ -43,6 +43,11 @@ class UdpEngine {
   };
 
   explicit UdpEngine(Env env);
+  // Releases queued receive frames and in-flight TX chunks.
+  ~UdpEngine();
+
+  UdpEngine(const UdpEngine&) = delete;
+  UdpEngine& operator=(const UdpEngine&) = delete;
 
   // --- socket API ---------------------------------------------------------------
   SockId open();
@@ -61,8 +66,33 @@ class UdpEngine {
     Ipv4Addr src;
     std::uint16_t sport = 0;
   };
+  // Legacy copy path: implemented over recv_zc() plus one memcpy.
   std::optional<Datagram> recv(SockId s);
   bool readable(SockId s) const;
+
+  // --- zero-copy receive (Section V-C) -----------------------------------------
+  // A borrowed datagram: `data` is a read-only sub-range rich pointer over
+  // the payload inside the live frame chunk; `frame` is the whole chunk.
+  // The frame reference transfers to the caller, who must hand it back via
+  // release_rx() (or directly to the owning pool) exactly once.
+  struct BorrowedRx {
+    chan::RichPtr frame;
+    chan::RichPtr data;
+    Ipv4Addr src;
+    std::uint16_t sport = 0;
+  };
+  std::optional<BorrowedRx> recv_zc(SockId s);
+  // Reports a borrowed frame done to its owner (kL4RxDone towards IP).
+  void release_rx(const chan::RichPtr& frame) { env_.rx_done(frame); }
+
+  // Teardown/crash support: replaces the rx_done report with a direct
+  // release through the pool registry.  A dying or destructed host has no
+  // handler context to send kL4RxDone messages from.
+  void detach_rx_done() {
+    env_.rx_done = [pools = env_.pools](const chan::RichPtr& frame) {
+      pools->release(frame);
+    };
+  }
 
   // --- from IP -------------------------------------------------------------------
   void input(L4Packet&& pkt);

@@ -13,6 +13,17 @@ StackServer::StackServer(NodeEnv* env, sim::SimCore* core, Config cfg,
       cfg_(std::move(cfg)),
       nics_(std::move(nics)) {}
 
+StackServer::~StackServer() {
+  if (tcp_) tcp_->detach_rx_done();
+  if (udp_) udp_->detach_rx_done();
+  tcp_.reset();
+  udp_.reset();
+  if (pool_ != nullptr) {
+    for (auto& [cookie, desc] : drv_descs_) pool_->release(desc);
+  }
+  drv_descs_.clear();
+}
+
 int StackServer::ifindex_of(const std::string& driver) {
   return std::atoi(driver.c_str() + 3);
 }
@@ -270,6 +281,11 @@ void StackServer::start(bool restart) {
 void StackServer::on_killed() {
   tx_backlog_.clear();
   pf_.reset();
+  // The dying process cannot send done-reports; queued receive frames go
+  // straight back to their owning pool (ip_ may already be gone when the
+  // engine destructors run).
+  if (tcp_) tcp_->detach_rx_done();
+  if (udp_) udp_->detach_rx_done();
   tcp_.reset();
   udp_.reset();
   ip_.reset();

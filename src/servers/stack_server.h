@@ -46,6 +46,9 @@ class StackServer : public Server {
   // inline_drivers is set.
   StackServer(NodeEnv* env, sim::SimCore* core, Config cfg,
               std::vector<drv::SimNic*> nics);
+  // Teardown: releases engine queues and in-flight descriptors straight
+  // into the pools (no handler context for done-reports).
+  ~StackServer() override;
 
   net::TcpEngine* tcp_engine() { return tcp_.get(); }
   net::UdpEngine* udp_engine() { return udp_.get(); }

@@ -8,6 +8,15 @@ SyscallServer::SyscallServer(NodeEnv* env, sim::SimCore* core,
       tcp_target_(std::move(tcp_target)),
       udp_target_(std::move(udp_target)) {}
 
+SyscallServer::~SyscallServer() {
+  // Staged payloads (request.ptr) are NOT touched: the transport may have
+  // executed the op already and own them — its own teardown releases them.
+  for (auto& [id, p] : pending_) {
+    if (p.chunk.valid() && pool_ != nullptr) pool_->release(p.chunk);
+  }
+  pending_.clear();
+}
+
 void SyscallServer::start(bool restart) {
   pool_ = env().get_pool("syscall.batch", 4u << 20);
   expose_in_queue(tcp_target_, 1024);

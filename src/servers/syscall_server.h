@@ -28,6 +28,9 @@ class SyscallServer : public Server {
   SyscallServer(NodeEnv* env, sim::SimCore* core,
                 std::string tcp_target = kTcpName,
                 std::string udp_target = kUdpName);
+  // Teardown: drops the staging-chunk references (and staged payloads) of
+  // ops that never got a reply.
+  ~SyscallServer() override;
 
   // One op of a batched submission (a SocketRing SQ flush).
   struct BatchOp {

@@ -12,6 +12,17 @@ TcpServer::TcpServer(NodeEnv* env, sim::SimCore* core, net::TcpOptions opts,
       opts_(opts),
       src_for_(std::move(src_for)) {}
 
+TcpServer::~TcpServer() {
+  if (engine_) {
+    engine_->detach_rx_done();
+    engine_.reset();
+  }
+  if (pool_ != nullptr) {
+    for (auto& [cookie, desc] : tx_descs_) pool_->release(desc);
+  }
+  tx_descs_.clear();
+}
+
 void TcpServer::build_engine() {
   net::TcpEngine::Env e;
   e.clock = clock();
@@ -77,6 +88,9 @@ void TcpServer::start(bool restart) {
 }
 
 void TcpServer::on_killed() {
+  // The dying process cannot send done-reports; queued receive frames go
+  // straight back to their owning pool.
+  if (engine_) engine_->detach_rx_done();
   engine_.reset();  // all established connections are gone (Table I)
   tx_descs_.clear();
 }

@@ -20,6 +20,10 @@ class TcpServer : public Server {
  public:
   TcpServer(NodeEnv* env, sim::SimCore* core, net::TcpOptions opts,
             std::function<net::Ipv4Addr(net::Ipv4Addr)> src_for);
+  // Releases everything still referenced (engine queues, in-flight
+  // descriptors) straight into the pools: at teardown there is no handler
+  // context to send done-reports from.
+  ~TcpServer() override;
 
   net::TcpEngine* engine() { return engine_.get(); }
 

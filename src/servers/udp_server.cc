@@ -10,6 +10,17 @@ UdpServer::UdpServer(NodeEnv* env, sim::SimCore* core,
                      std::function<net::Ipv4Addr(net::Ipv4Addr)> src_for)
     : Server(env, kUdpName, core), src_for_(std::move(src_for)) {}
 
+UdpServer::~UdpServer() {
+  if (engine_) {
+    engine_->detach_rx_done();
+    engine_.reset();
+  }
+  if (pool_ != nullptr) {
+    for (auto& [cookie, pending] : pending_tx_) pool_->release(pending.desc);
+  }
+  pending_tx_.clear();
+}
+
 void UdpServer::build_engine() {
   net::UdpEngine::Env e;
   e.clock = clock();
@@ -71,6 +82,9 @@ void UdpServer::start(bool restart) {
 }
 
 void UdpServer::on_killed() {
+  // The dying process cannot send done-reports; queued receive frames go
+  // straight back to their owning pool.
+  if (engine_) engine_->detach_rx_done();
   engine_.reset();
   pending_tx_.clear();  // in-flight descriptors leak, bounded per crash
 }

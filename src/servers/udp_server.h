@@ -20,6 +20,9 @@ class UdpServer : public Server {
   // knowledge baked in at build time, like an /etc/ip config).
   UdpServer(NodeEnv* env, sim::SimCore* core,
             std::function<net::Ipv4Addr(net::Ipv4Addr)> src_for);
+  // Teardown: releases engine queues and in-flight descriptors straight
+  // into the pools (no handler context for done-reports).
+  ~UdpServer() override;
 
   net::UdpEngine* engine() { return engine_.get(); }
 

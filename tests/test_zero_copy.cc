@@ -1,0 +1,420 @@
+// The chunk-lending (zero-copy) socket data plane: recv_zc/consume views,
+// send reservations, forward() splicing, borrowed datagrams, the loan
+// ledger, and ENOBUFS surfacing (Sections IV "Pools" and V-C "Zero Copy").
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/apps.h"
+#include "src/core/socket.h"
+#include "src/core/testbed.h"
+
+using namespace newtos;
+
+namespace {
+
+TestbedOptions options(StackMode mode = StackMode::kSplitSyscall) {
+  TestbedOptions opts;
+  opts.mode = mode;
+  return opts;
+}
+
+// Finds a pool on `node` whose name ends with `suffix` (names are
+// "<owner>/<name>").
+chan::Pool* pool_named(Node& node, const std::string& suffix) {
+  for (chan::Pool* p : node.pools().all()) {
+    if (p->name().size() >= suffix.size() &&
+        p->name().compare(p->name().size() - suffix.size(), suffix.size(),
+                          suffix) == 0) {
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+// recv_zc exposes the received stream as views over the live pool chunks —
+// one view per frame the NIC delivered — without copying, and partial
+// consume() re-slices the remainder correctly across chunk boundaries.
+TEST(ZeroCopyRecv, MultiChunkViewBoundaries) {
+  Testbed tb(options());
+
+  AppActor* srv_app = tb.newtos().add_app("srv");
+  TcpListener listener(*srv_app);
+  std::unique_ptr<TcpSocket> conn;
+  listener.on_event([&](net::TcpEvent ev) {
+    if (ev != net::TcpEvent::AcceptReady) return;
+    while (auto c = listener.accept()) conn = std::move(c);
+  });
+  listener.bind_listen(net::Ipv4Addr{}, 7300, 4, [](bool) {});
+
+  AppActor* cli_app = tb.peer().add_app("cli");
+  TcpSocket cli(*cli_app);
+  cli.on_event([&](net::TcpEvent ev) {
+    if (ev == net::TcpEvent::Connected) {
+      cli_app->call([&](sim::Context&) { cli.send(8192, {}); });
+    }
+  });
+  cli.connect(tb.peer().peer_addr(0), 7300, [](bool) {});
+  tb.run_until(500 * sim::kMillisecond);
+  ASSERT_NE(conn, nullptr);
+
+  srv_app->call([&](sim::Context&) {
+    const std::size_t avail = conn->recv_available();
+    ASSERT_EQ(avail, 8192u);
+    RecvView v = conn->recv_zc();
+    // 8 KB at MSS 1460 arrives as several frames: one borrowed view each.
+    EXPECT_GE(v.chunks, 2u);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < v.chunks; ++i) total += v.chunk[i].size();
+    EXPECT_EQ(total, v.bytes);
+    EXPECT_EQ(v.bytes, avail);
+
+    // Consume half of the first chunk: the next view must start inside it.
+    const std::size_t first = v.chunk[0].size();
+    const std::size_t half = first / 2;
+    EXPECT_EQ(conn->consume(half), half);
+    RecvView after = conn->recv_zc();
+    EXPECT_EQ(after.bytes, avail - half);
+    EXPECT_EQ(after.chunk[0].size(), first - half);
+
+    // Drain the rest; nothing was copied on this node.
+    EXPECT_EQ(conn->consume(after.bytes), after.bytes);
+    EXPECT_TRUE(conn->recv_zc().empty());
+  });
+  tb.run_until(600 * sim::kMillisecond);
+  EXPECT_EQ(tb.newtos().stats().get("sock.bytes_copied"), 0u);
+}
+
+// A receiver that never consumes closes its advertised window; a partial
+// consume() must reopen it (window-update ACK) so the sender resumes.
+TEST(ZeroCopyRecv, PartialConsumeReopensClosedWindow) {
+  Testbed tb(options());
+
+  AppActor* srv_app = tb.newtos().add_app("srv");
+  TcpListener listener(*srv_app);
+  std::unique_ptr<TcpSocket> conn;
+  listener.on_event([&](net::TcpEvent ev) {
+    if (ev != net::TcpEvent::AcceptReady) return;
+    while (auto c = listener.accept()) conn = std::move(c);
+  });
+  listener.bind_listen(net::Ipv4Addr{}, 7301, 4, [](bool) {});
+
+  // A bulk sender with nobody draining: it fills the receiver's 1 MB
+  // receive buffer plus its own send buffer, then stalls on the window.
+  AppActor* tx_app = tb.peer().add_app("tx");
+  apps::BulkSender::Config sc;
+  sc.dst = tb.peer().peer_addr(0);
+  sc.port = 7301;
+  sc.write_size = 65536;
+  apps::BulkSender sender(tb.peer(), tx_app, sc);
+  sender.start();
+
+  tb.run_until(3 * sim::kSecond);
+  ASSERT_NE(conn, nullptr);
+  const std::size_t stalled = conn->recv_available();
+  // The receive buffer is full enough that the advertised window is shut
+  // (rcv space below one MSS).
+  ASSERT_GT(stalled, (1u << 20) - 1500u);
+
+  // Let it sit: no progress without a window update.
+  tb.run_until(4 * sim::kSecond);
+  EXPECT_EQ(conn->recv_available(), stalled);
+
+  // Partial consume reopens the window; the sender must push new bytes.
+  std::size_t consumed = 0;
+  srv_app->call([&](sim::Context&) { consumed = conn->consume(256 * 1024); });
+  tb.run_until(5 * sim::kSecond);
+  EXPECT_EQ(consumed, 256u * 1024u);
+  EXPECT_GT(conn->recv_available(), stalled - 256 * 1024);
+}
+
+// forward() splices received chunks onto another socket without touching
+// the payload: a TCP proxy moves every byte end to end with zero copies on
+// the proxy node.
+TEST(ZeroCopyForward, ProxySpliceMovesAllBytes) {
+  Testbed tb(options());
+  constexpr std::uint32_t kWrite = 16384;
+  constexpr int kWrites = 16;
+
+  // Final receiver on the peer.
+  AppActor* rx_app = tb.peer().add_app("rx");
+  apps::BulkReceiver::Config rc;
+  rc.port = 5002;
+  rc.record_series = false;
+  apps::BulkReceiver receiver(tb.peer(), rx_app, rc);
+  receiver.start();
+
+  // Proxy on newtos: inbound listener on 5001, outbound to peer:5002.
+  AppActor* px_app = tb.newtos().add_app("proxy");
+  TcpListener px_listener(*px_app);
+  std::unique_ptr<TcpSocket> px_in;
+  std::unique_ptr<TcpSocket> px_out;
+  bool out_connected = false;
+  auto pump = [&]() {
+    if (!px_in || !px_out || !out_connected) return;
+    while (px_in->forward(*px_out, 256 * 1024) > 0) {
+    }
+  };
+  px_listener.on_event([&](net::TcpEvent ev) {
+    if (ev != net::TcpEvent::AcceptReady) return;
+    while (auto c = px_listener.accept()) {
+      px_in = std::move(c);
+      px_in->on_event([&](net::TcpEvent cev) {
+        if (cev == net::TcpEvent::Readable) pump();
+      });
+      px_out = std::make_unique<TcpSocket>(*px_app);
+      px_out->on_event([&](net::TcpEvent oev) {
+        if (oev == net::TcpEvent::Connected) {
+          out_connected = true;
+          pump();
+        } else if (oev == net::TcpEvent::Writable) {
+          pump();
+        }
+      });
+      px_out->connect(tb.newtos().peer_addr(0), 5002, [](bool) {});
+      pump();
+    }
+  });
+  px_listener.bind_listen(net::Ipv4Addr{}, 5001, 4, [](bool) {});
+
+  // Source on the peer, sending a fixed volume through the proxy.
+  AppActor* tx_app = tb.peer().add_app("tx");
+  TcpSocket tx(*tx_app);
+  int sent = 0;
+  std::function<void()> send_next = [&]() {
+    if (sent == kWrites) return;
+    ++sent;
+    tx_app->call([&](sim::Context&) {
+      tx.send(kWrite, [&](bool ok) {
+        ASSERT_TRUE(ok);
+        send_next();
+      });
+    });
+  };
+  tx.on_event([&](net::TcpEvent ev) {
+    if (ev == net::TcpEvent::Connected) send_next();
+  });
+  tx.connect(tb.peer().peer_addr(0), 5001, [](bool) {});
+
+  tb.run_until(4 * sim::kSecond);
+  EXPECT_EQ(sent, kWrites);
+  EXPECT_EQ(receiver.bytes(), static_cast<std::uint64_t>(kWrite) * kWrites);
+  // The proxy node never copied a payload byte.
+  EXPECT_EQ(tb.newtos().stats().get("sock.bytes_copied"), 0u);
+}
+
+// A send reservation is filled in place (scatter-gather across chunks) and
+// submitted as a chain; cancelling instead returns every loan.
+TEST(ZeroCopySend, ReservationScatterGatherAndCancel) {
+  Testbed tb(options());
+
+  AppActor* rx_app = tb.peer().add_app("rx");
+  apps::BulkReceiver::Config rc;
+  rc.record_series = false;
+  apps::BulkReceiver receiver(tb.peer(), rx_app, rc);
+  receiver.start();
+
+  AppActor* tx_app = tb.newtos().add_app("tx");
+  TcpSocket tx(*tx_app);
+  bool submitted_ok = false;
+  tx.on_event([&](net::TcpEvent ev) {
+    if (ev != net::TcpEvent::Connected) return;
+    tx_app->call([&](sim::Context&) {
+      SendReservation res = tx.reserve(24 * 1024, 8 * 1024);
+      ASSERT_TRUE(res.valid());
+      ASSERT_EQ(res.chunk_count(), 3u);
+      for (std::size_t i = 0; i < res.chunk_count(); ++i) {
+        auto view = res.chunk(i);
+        ASSERT_EQ(view.size(), 8u * 1024u);
+        view[0] = std::byte{0xab};  // fill in place: the exported buffer
+      }
+      tx.submit(std::move(res), [&](bool ok) { submitted_ok = ok; });
+
+      // And one reservation that is abandoned: its loans must return.
+      SendReservation dropped = tx.reserve(4096);
+      ASSERT_TRUE(dropped.valid());
+      dropped.cancel();
+    });
+  });
+  tx.connect(tb.newtos().peer_addr(0), 5001, [](bool) {});
+
+  tb.run_until(1 * sim::kSecond);
+  EXPECT_TRUE(submitted_ok);
+  EXPECT_EQ(receiver.bytes(), 24u * 1024u);
+  EXPECT_EQ(tb.newtos().stats().get("sock.bytes_copied"), 0u);
+  // No loans left anywhere (the Testbed destructor asserts this too).
+  chan::Pool* buf = pool_named(tb.newtos(), "tcp.buf");
+  ASSERT_NE(buf, nullptr);
+  EXPECT_EQ(buf->borrows_outstanding(), 0u);
+}
+
+// Pool exhaustion on the send path surfaces as a clean error completion
+// (kSockENoBufs through the ring), not a silent drop, and clears once
+// chunks come back.
+TEST(ZeroCopySend, PoolExhaustionSurfacesEnobufs) {
+  Testbed tb(options());
+
+  AppActor* rx_app = tb.peer().add_app("rx");
+  apps::BulkReceiver::Config rc;
+  rc.record_series = false;
+  apps::BulkReceiver receiver(tb.peer(), rx_app, rc);
+  receiver.start();
+
+  AppActor* tx_app = tb.newtos().add_app("tx");
+  TcpSocket tx(*tx_app);
+  bool connected = false;
+  tx.on_event([&](net::TcpEvent ev) {
+    if (ev == net::TcpEvent::Connected) connected = true;
+  });
+  tx.connect(tb.newtos().peer_addr(0), 5001, [](bool) {});
+  tb.run_until(300 * sim::kMillisecond);
+  ASSERT_TRUE(connected);
+
+  // Hoard the transport's whole buffer pool.
+  net::TcpEngine* eng = tb.newtos().tcp_engine();
+  ASSERT_NE(eng, nullptr);
+  std::vector<chan::RichPtr> hoard;
+  for (std::uint32_t size : {1u << 20, 1u << 16, 1u << 13, 1u << 10, 64u}) {
+    for (;;) {
+      chan::RichPtr p = eng->alloc_payload(size);
+      if (!p.valid()) break;
+      hoard.push_back(p);
+    }
+  }
+  ASSERT_FALSE(hoard.empty());
+
+  int failures = 0;
+  bool ok_after = false;
+  tx_app->call([&](sim::Context&) {
+    // Legacy wrapper: completion must still arrive, as an error.
+    tx.send(8192, [&](bool ok) {
+      EXPECT_FALSE(ok);
+      ++failures;
+    });
+    // Reservation API: the failure is visible before anything queues.
+    SendReservation res = tx.reserve(8192);
+    EXPECT_FALSE(res.valid());
+  });
+  tb.run_until(400 * sim::kMillisecond);
+  EXPECT_EQ(failures, 1);
+  EXPECT_GE(tb.newtos().stats().get("sock.enobufs"), 2u);
+
+  // Return the hoarded chunks: sends work again.
+  for (const auto& p : hoard) tb.newtos().pools().release(p);
+  tx_app->call([&](sim::Context&) {
+    tx.send(8192, [&](bool ok) { ok_after = ok; });
+  });
+  tb.run_until(1 * sim::kSecond);
+  EXPECT_TRUE(ok_after);
+  EXPECT_EQ(receiver.bytes(), 8192u);
+}
+
+// A borrowed datagram view survives a transport restart (the frame lives in
+// the receive pool, whose owner did not crash) and its release stays a
+// clean, single return of the loan.
+TEST(BorrowedViews, ReleaseAfterTransportRestart) {
+  Testbed tb(options());
+
+  AppActor* srv_app = tb.newtos().add_app("srv");
+  UdpSocket srv(*srv_app);
+  std::optional<BorrowedDatagram> held;
+  srv.on_event([&](net::TcpEvent) {
+    if (!held) held = srv.recvfrom_zc();
+  });
+  srv.bind(net::Ipv4Addr{}, 5353, [](bool) {});
+
+  AppActor* cli_app = tb.peer().add_app("cli");
+  UdpSocket cli(*cli_app);
+  cli.connect(tb.peer().peer_addr(0), 5353, [](bool) {});
+  tb.run_until(100 * sim::kMillisecond);
+  cli_app->call([&](sim::Context&) {
+    cli.sendto(128, net::Ipv4Addr{}, 0, [](bool) {});
+  });
+  tb.run_until(300 * sim::kMillisecond);
+  ASSERT_TRUE(held.has_value());
+  ASSERT_TRUE(held->valid());
+  EXPECT_EQ(held->data().size(), 128u);
+
+  chan::Pool* rx = pool_named(tb.newtos(), "ip.rx");
+  ASSERT_NE(rx, nullptr);
+  EXPECT_EQ(rx->borrows_outstanding(), 1u);
+
+  // Crash and restart the UDP transport while the app still holds the view.
+  tb.newtos().manual_restart("udp");
+  tb.run_until(2 * sim::kSecond);
+
+  // The borrowed frame was untouched by the transport crash — the paper's
+  // point about read-only pools: the original bytes are still intact.
+  EXPECT_TRUE(held->valid());
+  EXPECT_EQ(held->data().size(), 128u);
+  held->release();
+  EXPECT_FALSE(held->valid());
+  EXPECT_EQ(rx->borrows_outstanding(), 0u);
+  held->release();  // double release: no-op
+  EXPECT_EQ(rx->borrows_outstanding(), 0u);
+}
+
+// A crashed borrower's loans are reclaimed wholesale: the owner frees every
+// reference the dead app still held, so a loan can never strand a chunk.
+TEST(BorrowedViews, ReclaimFreesACrashedBorrowersLoans) {
+  Testbed tb(options());
+  chan::Pool* buf = pool_named(tb.newtos(), "tcp.buf");
+  ASSERT_NE(buf, nullptr);
+
+  const std::size_t live_before = buf->chunks_live();
+  chan::RichPtr a = buf->alloc(4096);
+  chan::RichPtr b = buf->alloc(8192);
+  ASSERT_TRUE(a.valid());
+  ASSERT_TRUE(b.valid());
+  buf->note_borrow(a, 77);
+  buf->note_borrow(b, 77);
+  EXPECT_EQ(buf->borrows_outstanding(), 2u);
+
+  // The borrower dies without returning anything.
+  EXPECT_EQ(buf->reclaim(77), 2u);
+  EXPECT_EQ(buf->borrows_outstanding(), 0u);
+  EXPECT_EQ(buf->chunks_live(), live_before);
+  // A late return from a ghost of the borrower is refused.
+  EXPECT_FALSE(buf->note_return(a, 77));
+}
+
+// When the pool OWNER resets (crash), every outstanding loan goes stale:
+// views read empty, returns are refused by the ledger, nothing double-frees.
+TEST(BorrowedViews, StaleGenerationAfterOwnerReset) {
+  Testbed tb(options());
+
+  AppActor* srv_app = tb.newtos().add_app("srv");
+  UdpSocket srv(*srv_app);
+  std::optional<BorrowedDatagram> held;
+  srv.on_event([&](net::TcpEvent) {
+    if (!held) held = srv.recvfrom_zc();
+  });
+  srv.bind(net::Ipv4Addr{}, 5353, [](bool) {});
+
+  AppActor* cli_app = tb.peer().add_app("cli");
+  UdpSocket cli(*cli_app);
+  cli.connect(tb.peer().peer_addr(0), 5353, [](bool) {});
+  tb.run_until(100 * sim::kMillisecond);
+  cli_app->call([&](sim::Context&) {
+    cli.sendto(64, net::Ipv4Addr{}, 0, [](bool) {});
+  });
+  tb.run_until(300 * sim::kMillisecond);
+  ASSERT_TRUE(held.has_value());
+  ASSERT_TRUE(held->valid());
+
+  chan::Pool* rx = pool_named(tb.newtos(), "ip.rx");
+  ASSERT_NE(rx, nullptr);
+  const std::uint32_t gen_before = rx->generation();
+  // The owner resets its pool (what a crash of the pool's owner does):
+  // the generation bumps, so every lent rich pointer is now stale.
+  rx->reset();
+  EXPECT_EQ(rx->generation(), gen_before + 1);
+
+  EXPECT_TRUE(held->data().empty());  // stale view reads nothing
+  held->release();                    // refused by the ledger: no-op
+  EXPECT_EQ(rx->borrows_outstanding(), 0u);
+  EXPECT_EQ(rx->chunks_live(), 0u);
+}
