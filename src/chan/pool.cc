@@ -178,6 +178,19 @@ const Pool* PoolRegistry::find(std::uint32_t id) const {
   return it == pools_.end() ? nullptr : it->second.get();
 }
 
+Pool* PoolRegistry::find_by_name(const std::string& name) {
+  for (auto& [id, pool] : pools_) {
+    const std::string& full = pool->name();  // "<owner>/<name>"
+    if (full == name) return pool.get();
+    const auto slash = full.rfind('/');
+    if (slash != std::string::npos && full.compare(slash + 1, std::string::npos,
+                                                   name) == 0) {
+      return pool.get();
+    }
+  }
+  return nullptr;
+}
+
 std::span<const std::byte> PoolRegistry::read(const RichPtr& p) const {
   const Pool* pool = find(p.pool);
   return pool ? pool->read_view(p) : std::span<const std::byte>{};

@@ -149,6 +149,9 @@ class PoolRegistry {
 
   Pool* find(std::uint32_t id);
   const Pool* find(std::uint32_t id) const;
+  // Lookup by name ("tcp.buf", "tcp1.buf", ...): the sharded transport
+  // plane names each replica's staging pool after its server.
+  Pool* find_by_name(const std::string& name);
 
   // Resolves a rich pointer to read-only bytes; empty span if stale/unknown.
   std::span<const std::byte> read(const RichPtr& p) const;

@@ -45,6 +45,12 @@ struct NodeConfig {
   double cost_scale = 1.0;
   net::TcpOptions tcp;
   std::uint32_t app_write_size = 8192;
+  // Sharded transport plane: N replicated TCP/UDP servers, inbound frames
+  // steered by 4-tuple hash (split arrangements only; combined stacks
+  // always run one engine pair).  The default of 1 keeps every Table II
+  // row exactly what it always was.
+  int tcp_shards = 1;
+  int udp_shards = 1;
   // Addressing: NIC i sits on 10.(subnet_base+i).0.0/24; this host takes
   // .1 when `left`, .2 otherwise.
   std::uint8_t subnet_base = 1;

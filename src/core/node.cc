@@ -1,5 +1,7 @@
 #include "src/core/node.h"
 
+#include <algorithm>
+
 #include "src/core/socket_ring.h"
 #include "src/servers/driver_server.h"
 
@@ -17,7 +19,16 @@ const char* to_string(StackMode m) {
 }
 
 namespace {
+
 std::uint32_t g_mac_counter = 1;
+
+// Effective replica count for a split-stack transport: combined stacks
+// always run one engine pair, and the id encoding bounds the rest.
+int clamp_shards(int requested, bool split) {
+  if (!split || requested < 1) return 1;
+  return std::min(requested, net::kMaxTransportShards);
+}
+
 }  // namespace
 
 Node::Node(sim::Simulator& sim, NodeConfig cfg)
@@ -58,9 +69,9 @@ Node::Node(sim::Simulator& sim, NodeConfig cfg)
     stats_.log(sim_.now(), "crash: " + s->name());
     if (rs_ != nullptr && s != rs_) rs_->child_crashed(s);
   };
-  env_.sock_event = [this](char proto, std::uint32_t sock,
+  env_.sock_event = [this](int shard, char proto, std::uint32_t sock,
                            std::uint8_t event) {
-    sockets_->dispatch_event(proto, sock, event);
+    sockets_->dispatch_event(shard, proto, sock, event);
   };
   sockets_ = std::make_unique<SocketApi>(*this);
   build();
@@ -157,12 +168,19 @@ void Node::build() {
 
   const bool inline_drivers = cfg_.mode == StackMode::kIdealMonolithic;
 
+  const int tcp_shards = clamp_shards(cfg_.tcp_shards, !cfg_.combined_stack());
+  const int udp_shards = clamp_shards(cfg_.udp_shards, !cfg_.combined_stack());
+
   // Storage clients depend on the arrangement.
   std::vector<std::string> store_clients;
   if (cfg_.combined_stack()) {
     store_clients = {servers::kStackName};
   } else {
-    store_clients = {servers::kTcpName, servers::kUdpName, servers::kIpName};
+    for (int s = 0; s < tcp_shards; ++s)
+      store_clients.push_back(servers::tcp_shard_name(s));
+    for (int s = 0; s < udp_shards; ++s)
+      store_clients.push_back(servers::udp_shard_name(s));
+    store_clients.push_back(servers::kIpName);
     if (cfg_.use_pf) store_clients.push_back(servers::kPfName);
   }
   auto store = std::make_unique<servers::StorageServer>(
@@ -203,8 +221,13 @@ void Node::build() {
     boot_order_.push_back(servers::kStackName);
   } else {
     if (cfg_.use_pf) {
-      auto pf = std::make_unique<servers::PfServer>(&env_, fresh_core("pf"),
-                                                    make_rules());
+      std::vector<std::string> transports;
+      for (int s = 0; s < tcp_shards; ++s)
+        transports.push_back(servers::tcp_shard_name(s));
+      for (int s = 0; s < udp_shards; ++s)
+        transports.push_back(servers::udp_shard_name(s));
+      auto pf = std::make_unique<servers::PfServer>(
+          &env_, fresh_core("pf"), make_rules(), std::move(transports));
       pf_ = pf.get();
       servers_.emplace(servers::kPfName, std::move(pf));
       boot_order_.push_back(servers::kPfName);
@@ -214,6 +237,8 @@ void Node::build() {
     ic.ifindexes = ifindexes;
     ic.use_pf = cfg_.use_pf;
     ic.csum_offload = cfg_.csum_offload;
+    ic.tcp_shards = tcp_shards;
+    ic.udp_shards = udp_shards;
     auto ip = std::make_unique<servers::IpServer>(&env_, fresh_core("ip"),
                                                   ic);
     ip_ = ip.get();
@@ -222,26 +247,40 @@ void Node::build() {
 
     net::TcpOptions topts = cfg_.tcp;
     topts.tso = cfg_.tso;
-    auto tcp = std::make_unique<servers::TcpServer>(&env_, fresh_core("tcp"),
-                                                    topts, src_for);
-    tcp_ = tcp.get();
-    servers_.emplace(servers::kTcpName, std::move(tcp));
-    boot_order_.push_back(servers::kTcpName);
+    for (int s = 0; s < tcp_shards; ++s) {
+      const std::string name = servers::tcp_shard_name(s);
+      auto tcp = std::make_unique<servers::TcpServer>(
+          &env_, fresh_core(name), topts, src_for, s, tcp_shards);
+      tcp_shards_.push_back(tcp.get());
+      servers_.emplace(name, std::move(tcp));
+      boot_order_.push_back(name);
+    }
 
-    auto udp = std::make_unique<servers::UdpServer>(&env_, fresh_core("udp"),
-                                                    src_for);
-    udp_ = udp.get();
-    servers_.emplace(servers::kUdpName, std::move(udp));
-    boot_order_.push_back(servers::kUdpName);
+    for (int s = 0; s < udp_shards; ++s) {
+      const std::string name = servers::udp_shard_name(s);
+      auto udp = std::make_unique<servers::UdpServer>(
+          &env_, fresh_core(name), src_for, s, udp_shards);
+      udp_shards_.push_back(udp.get());
+      servers_.emplace(name, std::move(udp));
+      boot_order_.push_back(name);
+    }
   }
 
   if (cfg_.has_syscall_server()) {
-    const std::string tcp_target =
-        cfg_.combined_stack() ? servers::kStackName : servers::kTcpName;
-    const std::string udp_target =
-        cfg_.combined_stack() ? servers::kStackName : servers::kUdpName;
+    std::vector<std::string> tcp_targets;
+    std::vector<std::string> udp_targets;
+    if (cfg_.combined_stack()) {
+      tcp_targets = {servers::kStackName};
+      udp_targets = {servers::kStackName};
+    } else {
+      for (int s = 0; s < tcp_shards; ++s)
+        tcp_targets.push_back(servers::tcp_shard_name(s));
+      for (int s = 0; s < udp_shards; ++s)
+        udp_targets.push_back(servers::udp_shard_name(s));
+    }
     auto sys = std::make_unique<servers::SyscallServer>(
-        &env_, fresh_core("syscall"), tcp_target, udp_target);
+        &env_, fresh_core("syscall"), std::move(tcp_targets),
+        std::move(udp_targets));
     syscall_ = sys.get();
     servers_.emplace(servers::kSyscallName, std::move(sys));
     boot_order_.push_back(servers::kSyscallName);
@@ -288,21 +327,42 @@ servers::Server* Node::server(const std::string& name) {
   return it == servers_.end() ? nullptr : it->second.get();
 }
 
-net::TcpEngine* Node::tcp_engine() const {
-  if (stack_ != nullptr) return stack_->tcp_engine();
-  return tcp_ != nullptr ? tcp_->engine() : nullptr;
+net::TcpEngine* Node::tcp_engine(int shard) const {
+  if (stack_ != nullptr) return shard == 0 ? stack_->tcp_engine() : nullptr;
+  if (shard < 0 || shard >= static_cast<int>(tcp_shards_.size()))
+    return nullptr;
+  return tcp_shards_[shard]->engine();
 }
 
-net::UdpEngine* Node::udp_engine() const {
-  if (stack_ != nullptr) return stack_->udp_engine();
-  return udp_ != nullptr ? udp_->engine() : nullptr;
+net::UdpEngine* Node::udp_engine(int shard) const {
+  if (stack_ != nullptr) return shard == 0 ? stack_->udp_engine() : nullptr;
+  if (shard < 0 || shard >= static_cast<int>(udp_shards_.size()))
+    return nullptr;
+  return udp_shards_[shard]->engine();
 }
 
-servers::Server* Node::transport_server(char proto) const {
-  (void)proto;
+int Node::tcp_shard_count() const {
+  return stack_ != nullptr ? 1
+                           : std::max<int>(1, static_cast<int>(
+                                                  tcp_shards_.size()));
+}
+
+int Node::udp_shard_count() const {
+  return stack_ != nullptr ? 1
+                           : std::max<int>(1, static_cast<int>(
+                                                  udp_shards_.size()));
+}
+
+servers::Server* Node::transport_server(char proto, int shard) const {
   if (stack_ != nullptr) return stack_;
-  return proto == 'T' ? static_cast<servers::Server*>(tcp_)
-                      : static_cast<servers::Server*>(udp_);
+  if (proto == 'T') {
+    if (shard < 0 || shard >= static_cast<int>(tcp_shards_.size()))
+      return nullptr;
+    return tcp_shards_[shard];
+  }
+  if (shard < 0 || shard >= static_cast<int>(udp_shards_.size()))
+    return nullptr;
+  return udp_shards_[shard];
 }
 
 net::IpEngine* Node::ip_engine() const {
@@ -315,8 +375,10 @@ std::vector<std::string> Node::injectable() const {
   if (cfg_.combined_stack()) {
     out.push_back(servers::kStackName);
   } else {
-    out.push_back(servers::kTcpName);
-    out.push_back(servers::kUdpName);
+    for (std::size_t s = 0; s < tcp_shards_.size(); ++s)
+      out.push_back(servers::tcp_shard_name(static_cast<int>(s)));
+    for (std::size_t s = 0; s < udp_shards_.size(); ++s)
+      out.push_back(servers::udp_shard_name(static_cast<int>(s)));
     out.push_back(servers::kIpName);
     if (cfg_.use_pf) out.push_back(servers::kPfName);
   }

@@ -63,12 +63,23 @@ class Node {
   servers::ReincarnationServer* reincarnation() { return rs_; }
   servers::SyscallServer* syscall() { return syscall_; }
   servers::StorageServer* storage() { return store_; }
-  net::TcpEngine* tcp_engine() const;
-  net::UdpEngine* udp_engine() const;
-  // The server hosting the given transport (for fast-path context borrowing).
-  servers::Server* transport_server(char proto) const;
+  // Shard 0's engines (the only ones in every single-shard arrangement).
+  net::TcpEngine* tcp_engine() const { return tcp_engine(0); }
+  net::UdpEngine* udp_engine() const { return udp_engine(0); }
+  // Sharded transport plane: per-replica engines and counts.  Connections
+  // live on the replica their socket id encodes (net::sock_shard).
+  net::TcpEngine* tcp_engine(int shard) const;
+  net::UdpEngine* udp_engine(int shard) const;
+  int tcp_shard_count() const;
+  int udp_shard_count() const;
+  // The server hosting the given transport replica (for fast-path context
+  // borrowing).
+  servers::Server* transport_server(char proto, int shard = 0) const;
   net::IpEngine* ip_engine() const;
   servers::StackServer* stack_server() { return stack_; }
+  // Round-robin shard assignment for new sockets on the direct (no-SYSCALL)
+  // control path; the SYSCALL server keeps its own cursors.
+  servers::ShardCursors& direct_open_cursors() { return direct_open_rr_; }
 
   // Components eligible for fault injection (Table III).
   std::vector<std::string> injectable() const;
@@ -115,11 +126,12 @@ class Node {
   servers::ReincarnationServer* rs_ = nullptr;
   servers::StorageServer* store_ = nullptr;
   servers::SyscallServer* syscall_ = nullptr;
-  servers::TcpServer* tcp_ = nullptr;
-  servers::UdpServer* udp_ = nullptr;
+  std::vector<servers::TcpServer*> tcp_shards_;  // one replica per shard
+  std::vector<servers::UdpServer*> udp_shards_;
   servers::IpServer* ip_ = nullptr;
   servers::PfServer* pf_ = nullptr;
   servers::StackServer* stack_ = nullptr;
+  servers::ShardCursors direct_open_rr_;
 
   std::unique_ptr<SocketApi> sockets_;
   sim::SimCore* shared_core_ = nullptr;  // MINIX mode: one core for all

@@ -281,7 +281,7 @@ void TcpSocket::send(std::uint32_t len, SockStatusFn cb) {
   op.opcode = servers::kSockSend;
   op.proto = 'T';
   op.sock = st_->id;
-  if (node().tcp_engine() == nullptr) {
+  if (node().tcp_engine(net::sock_shard(st_->id)) == nullptr) {
     // A dead transport is not backpressure: report it as such.
     ring().fail_local(op, status_cb(std::move(cb)), kSockEDown);
     return;
@@ -298,8 +298,9 @@ void TcpSocket::send(std::uint32_t len, SockStatusFn cb) {
 
 RecvView TcpSocket::recv_zc() {
   RecvView v;
-  net::TcpEngine* eng = node().tcp_engine();
-  servers::Server* srv = node().transport_server('T');
+  const int shard = net::sock_shard(st_->id);
+  net::TcpEngine* eng = node().tcp_engine(shard);
+  servers::Server* srv = node().transport_server('T', shard);
   if (eng == nullptr || srv == nullptr || st_->id == 0) return v;
   servers::Server::BorrowContext borrow(*srv, app().cur());
   for (;;) {
@@ -326,8 +327,9 @@ RecvView TcpSocket::recv_zc() {
 }
 
 std::size_t TcpSocket::consume(std::size_t n) {
-  net::TcpEngine* eng = node().tcp_engine();
-  servers::Server* srv = node().transport_server('T');
+  const int shard = net::sock_shard(st_->id);
+  net::TcpEngine* eng = node().tcp_engine(shard);
+  servers::Server* srv = node().transport_server('T', shard);
   if (eng == nullptr || srv == nullptr || st_->id == 0) return 0;
   servers::Server::BorrowContext borrow(*srv, app().cur());
   return eng->consume(st_->id, n);
@@ -338,7 +340,10 @@ SendReservation TcpSocket::reserve(std::uint32_t len,
   SendReservation res;
   res.node_ = &node();
   res.borrower_ = app().borrower_id();
-  net::TcpEngine* eng = node().tcp_engine();
+  // The chunks come from the home replica's pool; an op queued before the
+  // open completed falls back to shard 0 (payloads travel cross-pool fine).
+  net::TcpEngine* eng = node().tcp_engine(net::sock_shard(st_->id));
+  if (eng == nullptr) eng = node().tcp_engine(0);
   if (eng == nullptr || len == 0) return res;
   if (chunk_bytes == 0) chunk_bytes = len;
   std::uint32_t left = len;
@@ -415,10 +420,19 @@ void TcpSocket::submit(SendReservation res, SockStatusFn cb) {
 
 std::size_t TcpSocket::forward(TcpSocket& dst, std::size_t max_bytes,
                                SockStatusFn cb) {
-  net::TcpEngine* eng = node().tcp_engine();
-  servers::Server* srv = node().transport_server('T');
-  if (eng == nullptr || srv == nullptr || &node() != &dst.node() ||
-      st_->id == 0 || dst.st_->id == 0) {
+  // Source and destination may live on different replicas: the spliced
+  // chunks are sub-range pointers into IP's receive pool, which every
+  // shard resolves through the registry, so the splice crosses shards
+  // without a copy.
+  const int src_shard = net::sock_shard(st_->id);
+  const int dst_shard = net::sock_shard(dst.st_->id);
+  net::TcpEngine* eng = node().tcp_engine(src_shard);
+  net::TcpEngine* dst_eng = node().tcp_engine(dst_shard);
+  servers::Server* srv = node().transport_server('T', src_shard);
+  servers::Server* dst_srv = node().transport_server('T', dst_shard);
+  if (eng == nullptr || dst_eng == nullptr || srv == nullptr ||
+      dst_srv == nullptr || &node() != &dst.node() || st_->id == 0 ||
+      dst.st_->id == 0) {
     if (cb) app().call([cb](sim::Context&) { cb(false); });
     return 0;
   }
@@ -426,6 +440,7 @@ std::size_t TcpSocket::forward(TcpSocket& dst, std::size_t max_bytes,
   std::size_t moved = 0;
   {
     servers::Server::BorrowContext borrow(*srv, app().cur());
+    servers::Server::BorrowContext dst_borrow(*dst_srv, app().cur());
     // Never consume more than the destination can take: bytes are consumed
     // from the source before the submissions execute, so dropping any
     // later would hole the spliced stream.  Two budgets bound the chain:
@@ -433,7 +448,7 @@ std::size_t TcpSocket::forward(TcpSocket& dst, std::size_t max_bytes,
     // yet completed (the engine cannot see un-flushed ops), and the free
     // submission-queue slots (an overflowing op fails and releases its
     // payload).
-    const std::size_t space = eng->send_space(dst.st_->id);
+    const std::size_t space = dst_eng->send_space(dst.st_->id);
     const std::size_t pending =
         static_cast<std::size_t>(dst.st_->inflight_tx);
     max_bytes = std::min(max_bytes, space > pending ? space - pending : 0);
@@ -469,7 +484,7 @@ std::size_t TcpSocket::forward(TcpSocket& dst, std::size_t max_bytes,
     // Bytes left behind (destination window full): ask for a Writable
     // event on the destination so the splice resumes without polling.
     if (eng->recv_available(st_->id) > 0) {
-      eng->want_writable(dst.st_->id);
+      dst_eng->want_writable(dst.st_->id);
     }
   }
   if (pieces.empty()) {
@@ -482,7 +497,7 @@ std::size_t TcpSocket::forward(TcpSocket& dst, std::size_t max_bytes,
 }
 
 std::size_t TcpSocket::send_space() const {
-  net::TcpEngine* eng = node().tcp_engine();
+  net::TcpEngine* eng = node().tcp_engine(net::sock_shard(st_->id));
   return eng == nullptr ? 0 : eng->send_space(st_->id);
 }
 
@@ -491,7 +506,7 @@ std::size_t TcpSocket::recv(std::span<std::byte> out) {
 }
 
 std::size_t TcpSocket::recv_available() const {
-  net::TcpEngine* eng = node().tcp_engine();
+  net::TcpEngine* eng = node().tcp_engine(net::sock_shard(st_->id));
   return eng == nullptr ? 0 : eng->recv_available(st_->id);
 }
 
@@ -563,7 +578,7 @@ void UdpSocket::sendto(std::uint32_t len, net::Ipv4Addr dst,
   op.opcode = servers::kSockSendTo;
   op.proto = 'U';
   op.sock = st_->id;
-  if (node().udp_engine() == nullptr) {
+  if (node().udp_engine(net::sock_shard(st_->id)) == nullptr) {
     ring().fail_local(op, status_cb(std::move(cb)), kSockEDown);
     return;
   }
@@ -581,7 +596,9 @@ SendReservation UdpSocket::reserve(std::uint32_t len) {
   SendReservation res;
   res.node_ = &node();
   res.borrower_ = app().borrower_id();
-  net::UdpEngine* eng = node().udp_engine();
+  // Staged in the home replica's pool, where the sendto will execute.
+  net::UdpEngine* eng = node().udp_engine(net::sock_shard(st_->id));
+  if (eng == nullptr) eng = node().udp_engine(0);
   if (eng == nullptr || len == 0) return res;
   chan::RichPtr p = eng->alloc_payload(len);
   if (!p.valid()) {
@@ -627,24 +644,30 @@ void UdpSocket::submit(SendReservation res, net::Ipv4Addr dst,
 }
 
 std::optional<BorrowedDatagram> UdpSocket::recvfrom_zc() {
-  net::UdpEngine* eng = node().udp_engine();
-  servers::Server* srv = node().transport_server('U');
-  if (eng == nullptr || srv == nullptr || st_->id == 0) return std::nullopt;
-  servers::Server::BorrowContext borrow(*srv, app().cur());
-  auto b = eng->recv_zc(st_->id);
-  if (!b) return std::nullopt;
-  if (chan::Pool* pool = node().pools().find(b->frame.pool)) {
-    pool->note_borrow(b->frame, app().borrower_id());
+  if (st_->id == 0) return std::nullopt;
+  // The socket's record is replicated to every replica and inbound
+  // datagrams hash to any of them: drain whichever shard queued one.
+  for (int shard = 0; shard < node().udp_shard_count(); ++shard) {
+    net::UdpEngine* eng = node().udp_engine(shard);
+    servers::Server* srv = node().transport_server('U', shard);
+    if (eng == nullptr || srv == nullptr) continue;
+    servers::Server::BorrowContext borrow(*srv, app().cur());
+    auto b = eng->recv_zc(st_->id);
+    if (!b) continue;
+    if (chan::Pool* pool = node().pools().find(b->frame.pool)) {
+      pool->note_borrow(b->frame, app().borrower_id());
+    }
+    app().cur().charge(node().sim().costs().cache_line_pull);
+    BorrowedDatagram d;
+    d.node_ = &node();
+    d.borrower_ = app().borrower_id();
+    d.frame_ = b->frame;
+    d.data_ = b->data;
+    d.src_ = b->src;
+    d.sport_ = b->sport;
+    return d;
   }
-  app().cur().charge(node().sim().costs().cache_line_pull);
-  BorrowedDatagram d;
-  d.node_ = &node();
-  d.borrower_ = app().borrower_id();
-  d.frame_ = b->frame;
-  d.data_ = b->data;
-  d.src_ = b->src;
-  d.sport_ = b->sport;
-  return d;
+  return std::nullopt;
 }
 
 std::optional<net::UdpEngine::Datagram> UdpSocket::recvfrom() {
@@ -654,9 +677,6 @@ std::optional<net::UdpEngine::Datagram> UdpSocket::recvfrom() {
 // --- SocketApi (deprecated shim) ---------------------------------------------------
 
 SocketApi::SocketApi(Node& node) : node_(node) {}
-
-net::TcpEngine* SocketApi::tcp() const { return node_.tcp_engine(); }
-net::UdpEngine* SocketApi::udp() const { return node_.udp_engine(); }
 
 void SocketApi::open(AppActor& app, char proto, OpenCb cb) {
   SockSqe op;
@@ -716,7 +736,7 @@ void SocketApi::close(AppActor& app, Handle h, StatusCb cb) {
 
 void SocketApi::send(AppActor& app, Handle h, std::uint32_t len,
                      StatusCb cb) {
-  net::TcpEngine* eng = tcp();
+  net::TcpEngine* eng = node_.tcp_engine(net::sock_shard(h.sock));
   if (eng == nullptr) {
     app.call([cb](sim::Context&) { cb(false); });
     return;
@@ -740,7 +760,7 @@ void SocketApi::send(AppActor& app, Handle h, std::uint32_t len,
 
 void SocketApi::sendto(AppActor& app, Handle h, std::uint32_t len,
                        net::Ipv4Addr addr, std::uint16_t port, StatusCb cb) {
-  net::UdpEngine* eng = udp();
+  net::UdpEngine* eng = node_.udp_engine(net::sock_shard(h.sock));
   if (eng == nullptr) {
     app.call([cb](sim::Context&) { cb(false); });
     return;
@@ -765,14 +785,15 @@ void SocketApi::sendto(AppActor& app, Handle h, std::uint32_t len,
 }
 
 std::size_t SocketApi::send_space(Handle h) const {
-  net::TcpEngine* eng = tcp();
+  net::TcpEngine* eng = node_.tcp_engine(net::sock_shard(h.sock));
   return eng == nullptr ? 0 : eng->send_space(h.sock);
 }
 
 std::size_t SocketApi::recv(AppActor& app, Handle h,
                             std::span<std::byte> out) {
-  net::TcpEngine* eng = tcp();
-  servers::Server* srv = node_.transport_server('T');
+  const int shard = net::sock_shard(h.sock);
+  net::TcpEngine* eng = node_.tcp_engine(shard);
+  servers::Server* srv = node_.transport_server('T', shard);
   if (eng == nullptr || srv == nullptr) return 0;
   servers::Server::BorrowContext borrow(*srv, app.cur());
   const std::size_t n = eng->recv(h.sock, out);
@@ -783,33 +804,43 @@ std::size_t SocketApi::recv(AppActor& app, Handle h,
 }
 
 std::size_t SocketApi::recv_available(Handle h) const {
-  net::TcpEngine* eng = tcp();
+  net::TcpEngine* eng = node_.tcp_engine(net::sock_shard(h.sock));
   return eng == nullptr ? 0 : eng->recv_available(h.sock);
 }
 
 std::optional<net::UdpEngine::Datagram> SocketApi::recvfrom(AppActor& app,
                                                             Handle h) {
-  net::UdpEngine* eng = udp();
-  servers::Server* srv = node_.transport_server('U');
-  if (eng == nullptr || srv == nullptr) return std::nullopt;
-  servers::Server::BorrowContext borrow(*srv, app.cur());
-  auto d = eng->recv(h.sock);
-  if (d) {
+  // Inbound datagrams hash to any replica; drain whichever queued one.
+  for (int shard = 0; shard < node_.udp_shard_count(); ++shard) {
+    net::UdpEngine* eng = node_.udp_engine(shard);
+    servers::Server* srv = node_.transport_server('U', shard);
+    if (eng == nullptr || srv == nullptr) continue;
+    servers::Server::BorrowContext borrow(*srv, app.cur());
+    auto d = eng->recv(h.sock);
+    if (!d) continue;
     app.cur().charge(node_.sim().costs().copy_cost(
         static_cast<std::int64_t>(d->data.size())));
     node_.stats().add("sock.bytes_copied", d->data.size());
+    return d;
   }
-  return d;
+  return std::nullopt;
 }
 
 std::optional<SocketApi::Handle> SocketApi::accept(AppActor& app, Handle h) {
-  net::TcpEngine* eng = tcp();
-  servers::Server* srv = node_.transport_server('T');
-  if (eng == nullptr || srv == nullptr) return std::nullopt;
-  servers::Server::BorrowContext borrow(*srv, app.cur());
-  auto child = eng->accept(h.sock);
-  if (!child) return std::nullopt;
-  return Handle{'T', *child};
+  // SO_REUSEPORT steering: every replica owns an accept queue for the
+  // listener's port, so pop from whichever shard queued a connection.  The
+  // child id encodes the replica the flow was steered to, which is where
+  // all its further ops route.
+  for (int shard = 0; shard < node_.tcp_shard_count(); ++shard) {
+    net::TcpEngine* eng = node_.tcp_engine(shard);
+    servers::Server* srv = node_.transport_server('T', shard);
+    if (eng == nullptr || srv == nullptr) continue;
+    servers::Server::BorrowContext borrow(*srv, app.cur());
+    auto child = eng->accept(h.sock);
+    if (!child) continue;
+    return Handle{'T', *child};
+  }
+  return std::nullopt;
 }
 
 void SocketApi::set_event_handler(Handle h, AppActor* app, EventCb cb) {
@@ -820,8 +851,9 @@ void SocketApi::clear_event_handler(Handle h) {
   handlers_.erase({h.proto, h.sock});
 }
 
-void SocketApi::dispatch_event(char proto, std::uint32_t sock,
+void SocketApi::dispatch_event(int shard, char proto, std::uint32_t sock,
                                std::uint8_t event) {
+  (void)shard;  // the handler key is the socket; replicas share the id
   auto it = handlers_.find({proto, sock});
   if (it == handlers_.end()) return;
   AppActor* app = it->second.first;

@@ -362,11 +362,11 @@ class SocketApi {
   // --- events ------------------------------------------------------------------------
   void set_event_handler(Handle h, AppActor* app, EventCb cb);
   void clear_event_handler(Handle h);
-  // Wired to NodeEnv::sock_event by the node.
-  void dispatch_event(char proto, std::uint32_t sock, std::uint8_t event);
-
-  net::TcpEngine* tcp() const;
-  net::UdpEngine* udp() const;
+  // Wired to NodeEnv::sock_event by the node.  `shard` names the transport
+  // replica that raised the event — for replicated state (listener accept
+  // queues, UDP sockets) it can differ from the socket id's home shard.
+  void dispatch_event(int shard, char proto, std::uint32_t sock,
+                      std::uint8_t event);
 
  private:
   Node& node_;

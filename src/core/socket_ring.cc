@@ -143,44 +143,63 @@ void SocketRing::route_direct(std::vector<SockSqe> batch) {
   // Table II line 2: no SYSCALL server — the app traps straight into the
   // transports, polluting their caches.  The batch still amortizes the
   // cold trap, but each reply keeps its synchronous toll (trap + IPI +
-  // context restore on the blocked app).
+  // context restore on the blocked app).  With a sharded plane the app
+  // traps once per replica it targets; opens spread round-robin and every
+  // later op follows the shard its socket id encodes.
+  std::vector<servers::WireSockOp> wire_all;
+  wire_all.reserve(batch.size());
+  for (const auto& sqe : batch) wire_all.push_back(to_wire(sqe));
+  std::vector<int> shard_of(batch.size(), 0);
+  servers::route_sock_shards(
+      wire_all, node_.tcp_shard_count(), node_.udp_shard_count(),
+      node_.direct_open_cursors(),
+      [&](std::size_t i, int shard) { shard_of[i] = shard; },
+      [&](char proto, int shard) {
+        servers::Server* s =
+            node_.server(servers::transport_shard_name(proto, shard));
+        return s != nullptr && s->alive();
+      });
+
   for (const char proto : {'T', 'U'}) {
-    std::vector<SockSqe> sub;
-    for (const auto& op : batch) {
-      if (op.proto == proto) sub.push_back(op);
+    const int shards = proto == 'T' ? node_.tcp_shard_count()
+                                    : node_.udp_shard_count();
+    for (int shard = 0; shard < shards; ++shard) {
+      std::vector<std::size_t> idxs;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (batch[i].proto == proto && shard_of[i] == shard) idxs.push_back(i);
+      }
+      if (idxs.empty()) continue;
+      const std::string target = servers::transport_shard_name(proto, shard);
+      servers::Server* srv = node_.server(target);
+      if (srv == nullptr || !srv->alive()) {
+        for (std::size_t i : idxs) fail(batch[i], kSockEDown);
+        continue;
+      }
+      const sim::Cycles reply_toll =
+          costs.trap_hot + costs.ipi + costs.mwait_wakeup;
+      std::vector<servers::WireSockOp> wire;
+      wire.reserve(idxs.size());
+      for (std::size_t i : idxs) wire.push_back(wire_all[i]);
+      auto run = [this, srv, proto, reply_toll,
+                  wire = std::move(wire)](sim::Context& sctx) {
+        servers::run_sock_batch(
+            wire, [&](char, const chan::Message& sm, const auto& note_open) {
+              auto reply = [&](const chan::Message& r) {
+                note_open(r);
+                srv->cur().charge(reply_toll);
+                on_reply(sm.req_id, sm.opcode, r.flags, r.socket, r.arg0);
+              };
+              if (proto == 'T') {
+                static_cast<servers::TcpServer*>(srv)->handle_sock_request(
+                    sm, sctx, reply);
+              } else {
+                static_cast<servers::UdpServer*>(srv)->handle_sock_request(
+                    sm, sctx, reply);
+              }
+            });
+      };
+      srv->post_kernel_msg(std::move(run), costs.trap_cold);
     }
-    if (sub.empty()) continue;
-    const std::string target =
-        proto == 'T' ? servers::kTcpName : servers::kUdpName;
-    servers::Server* srv = node_.server(target);
-    if (srv == nullptr || !srv->alive()) {
-      for (const auto& op : sub) fail(op, kSockEDown);
-      continue;
-    }
-    const sim::Cycles reply_toll =
-        costs.trap_hot + costs.ipi + costs.mwait_wakeup;
-    std::vector<servers::WireSockOp> wire;
-    wire.reserve(sub.size());
-    for (const auto& sqe : sub) wire.push_back(to_wire(sqe));
-    auto run = [this, srv, proto, reply_toll,
-                wire = std::move(wire)](sim::Context& sctx) {
-      servers::run_sock_batch(
-          wire, [&](char, const chan::Message& sm, const auto& note_open) {
-            auto reply = [&](const chan::Message& r) {
-              note_open(r);
-              srv->cur().charge(reply_toll);
-              on_reply(sm.req_id, sm.opcode, r.flags, r.socket, r.arg0);
-            };
-            if (proto == 'T') {
-              static_cast<servers::TcpServer*>(srv)->handle_sock_request(
-                  sm, sctx, reply);
-            } else {
-              static_cast<servers::UdpServer*>(srv)->handle_sock_request(
-                  sm, sctx, reply);
-            }
-          });
-    };
-    srv->post_kernel_msg(std::move(run), costs.trap_cold);
   }
 }
 

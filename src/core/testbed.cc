@@ -39,6 +39,8 @@ Testbed::Testbed(const TestbedOptions& opts) {
   left.pf_filler_rules = opts.pf_filler_rules;
   left.app_write_size = opts.app_write_size;
   left.cost_scale = opts.cost_scale;
+  left.tcp_shards = opts.tcp_shards;
+  left.udp_shards = opts.udp_shards;
   left.left = true;
 
   NodeConfig right;

@@ -24,6 +24,9 @@ struct TestbedOptions {
   double loss = 0.0;
   std::uint32_t app_write_size = 8192;
   double cost_scale = 1.0;  // DUT cost scale (row 7 models a faster kernel)
+  // Sharded transport plane on the system under test (split modes only).
+  int tcp_shards = 1;
+  int udp_shards = 1;
   sim::Time wire_latency = 20 * sim::kMicrosecond;
   std::uint64_t seed = 42;
 };

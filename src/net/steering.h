@@ -1,0 +1,58 @@
+// 4-tuple flow steering for the sharded transport plane.
+//
+// The paper's scalability argument is that a component can be replicated
+// across further cores.  We replicate the TCP and UDP servers N ways; the
+// IP server picks the replica for every inbound frame by hashing the
+// connection 4-tuple, so one flow always lands on the same replica and
+// never needs cross-replica locking.  Socket ids encode their home replica
+// in the top bits, which is how the SYSCALL server routes control ops and
+// how the socket layer finds the engine owning a connection.
+//
+// Active connects keep steering consistent without a flow table: the TCP
+// engine picks ephemeral ports such that the *inbound* tuple of the new
+// connection hashes back to its own shard (the hash partitions the
+// ephemeral port space among replicas, which also keeps two replicas from
+// ever minting the same 4-tuple).
+#pragma once
+
+#include <cstdint>
+
+#include "src/net/addr.h"
+
+namespace newtos::net {
+
+// Socket ids are partitioned per replica: shard k allocates ids in
+// (k << kSockShardShift, (k + 1) << kSockShardShift).
+inline constexpr std::uint32_t kSockShardShift = 24;
+inline constexpr std::uint32_t kSockShardSpan = 1u << kSockShardShift;
+inline constexpr int kMaxTransportShards = 8;
+
+inline int sock_shard(std::uint32_t sock) {
+  return static_cast<int>(sock >> kSockShardShift);
+}
+inline std::uint32_t sock_shard_base(int shard) {
+  return static_cast<std::uint32_t>(shard) << kSockShardShift;
+}
+
+// Deterministic 4-tuple hash, inbound orientation: src/sport belong to the
+// remote end, dst/dport to this host.
+inline std::uint32_t flow_hash(Ipv4Addr src, Ipv4Addr dst,
+                               std::uint16_t sport, std::uint16_t dport) {
+  std::uint64_t h = (static_cast<std::uint64_t>(src.value) << 32) | dst.value;
+  h ^= (static_cast<std::uint64_t>(sport) << 16) | dport;
+  h *= 0x9e3779b97f4a7c15ull;
+  h ^= h >> 32;
+  h *= 0xd6e8feb86659fd93ull;
+  h ^= h >> 32;
+  return static_cast<std::uint32_t>(h);
+}
+
+// The replica an inbound frame with this 4-tuple is steered to.
+inline int steer_shard(Ipv4Addr src, Ipv4Addr dst, std::uint16_t sport,
+                       std::uint16_t dport, int shards) {
+  if (shards <= 1) return 0;
+  return static_cast<int>(flow_hash(src, dst, sport, dport) %
+                          static_cast<std::uint32_t>(shards));
+}
+
+}  // namespace newtos::net

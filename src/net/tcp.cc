@@ -24,7 +24,9 @@ const char* to_string(TcpState s) {
 }
 
 TcpEngine::TcpEngine(Env env, TcpOptions opts)
-    : env_(std::move(env)), opts_(opts) {}
+    : env_(std::move(env)), opts_(opts) {
+  next_sock_ = env_.sock_base + 1;
+}
 
 TcpEngine::~TcpEngine() {
   // Release everything we own; cancel timers so no callback outlives us.
@@ -67,11 +69,19 @@ TcpEngine::Conn* TcpEngine::conn_by_tuple(Ipv4Addr peer, std::uint16_t pport,
   return it == by_tuple_.end() ? nullptr : conn_for(it->second);
 }
 
-std::uint16_t TcpEngine::ephemeral_port() {
+std::uint16_t TcpEngine::ephemeral_port(Ipv4Addr local, Ipv4Addr peer,
+                                        std::uint16_t pport) {
   for (int guard = 0; guard < 65536; ++guard) {
     const std::uint16_t p = next_port_++;
     if (next_port_ < 30000) next_port_ = 30000;
     if (listen_ports_.count(p)) continue;
+    // The inbound 4-tuple must steer back to this replica; the hash
+    // partitions the ephemeral space among shards, so two replicas can
+    // never mint the same tuple either.
+    if (env_.shard_count > 1 &&
+        steer_shard(peer, local, pport, p, env_.shard_count) != env_.shard) {
+      continue;
+    }
     bool used = false;
     for (const auto& [key, sock] : by_tuple_) {
       if (key.lport == p) {
@@ -133,7 +143,7 @@ bool TcpEngine::connect(SockId s, Ipv4Addr dst, std::uint16_t port) {
   Ipv4Addr local = it->second.local;
   if (local.is_zero() && env_.src_for) local = env_.src_for(dst);
   std::uint16_t lport = it->second.lport;
-  if (lport == 0) lport = ephemeral_port();
+  if (lport == 0) lport = ephemeral_port(local, dst, port);
   if (lport == 0) return false;
   if (conn_by_tuple(dst, port, lport) != nullptr) return false;
   embryos_.erase(it);
@@ -286,7 +296,11 @@ bool TcpEngine::close(SockId s) {
   if (lit != listeners_.end()) {
     // Children waiting in the accept queue are reset.
     for (SockId child : lit->second.acceptq) destroy_conn(child, false);
-    listen_ports_.erase(lit->second.port);
+    // Only unmap the port if this listener owns it: after a replicated
+    // port collision the map may name a different, still-live listener.
+    auto pit = listen_ports_.find(lit->second.port);
+    if (pit != listen_ports_.end() && pit->second == s)
+      listen_ports_.erase(pit);
     listeners_.erase(lit);
     return true;
   }
@@ -1014,14 +1028,33 @@ std::vector<TcpEngine::ListenRec> TcpEngine::listeners() const {
 }
 
 void TcpEngine::restore_listener(const ListenRec& rec) {
-  Listener l;
-  l.sock = rec.id;
-  l.addr = rec.addr;
-  l.port = rec.port;
-  l.backlog = rec.backlog;
-  listen_ports_[l.port] = rec.id;
-  listeners_[rec.id] = std::move(l);
-  next_sock_ = std::max(next_sock_, rec.id + 1);
+  auto it = listeners_.find(rec.id);
+  if (it != listeners_.end()) {
+    // Idempotent upsert: a re-replicated record (sibling re-seed after a
+    // restart) must not wipe the live accept queue of connections already
+    // steered here.
+    if (it->second.port != rec.port) {
+      auto pit = listen_ports_.find(it->second.port);
+      if (pit != listen_ports_.end() && pit->second == rec.id)
+        listen_ports_.erase(pit);
+    }
+    it->second.addr = rec.addr;
+    it->second.port = rec.port;
+    it->second.backlog = rec.backlog;
+  } else {
+    Listener l;
+    l.sock = rec.id;
+    l.addr = rec.addr;
+    l.port = rec.port;
+    l.backlog = rec.backlog;
+    listeners_[rec.id] = std::move(l);
+  }
+  // First owner wins on a replicated port collision: a replica record must
+  // not unhook a different live listener from the port it serves.
+  listen_ports_.try_emplace(rec.port, rec.id);
+  // A replicated listener carries a sibling shard's id: it must not drag
+  // our allocation counter into the foreign range.
+  if (own_sock(rec.id)) next_sock_ = std::max(next_sock_, rec.id + 1);
 }
 
 std::vector<std::byte> TcpEngine::serialize_listeners(

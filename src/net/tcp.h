@@ -32,6 +32,7 @@
 #include "src/net/env.h"
 #include "src/net/ip.h"
 #include "src/net/pf.h"
+#include "src/net/steering.h"
 #include "src/net/udp.h"  // SockId
 
 namespace newtos::net {
@@ -92,6 +93,16 @@ class TcpEngine {
     std::function<void(const chan::RichPtr&)> rx_done;          // to IP
     std::function<void(SockId, TcpEvent)> notify;
     std::function<Ipv4Addr(Ipv4Addr dst)> src_for;
+
+    // Sharded transport plane: this engine's replica index and the replica
+    // count, plus the socket-id range the replica allocates from.  Active
+    // connects constrain their ephemeral port so the inbound 4-tuple hash
+    // steers back here; restore/replication only advances the id counter
+    // for ids inside our own range (replica listeners keep foreign ids).
+    int shard = 0;
+    int shard_count = 1;
+    SockId sock_base = 0;
+    SockId sock_span = 0;  // 0 = unbounded (single-shard arrangements)
   };
 
   struct Stats {
@@ -121,6 +132,7 @@ class TcpEngine {
   bool listen(SockId s, int backlog);
   std::optional<SockId> accept(SockId s);
   bool connect(SockId s, Ipv4Addr dst, std::uint16_t port);
+  bool is_listener(SockId s) const { return listeners_.count(s) != 0; }
 
   std::size_t send_space(SockId s) const;
   chan::RichPtr alloc_payload(std::uint32_t len);
@@ -299,7 +311,15 @@ class TcpEngine {
   // (resolves sub-ranges; forwarded payloads live in foreign pools).
   void release_payload(const chan::RichPtr& p);
   Conn* conn_by_tuple(Ipv4Addr peer, std::uint16_t pport, std::uint16_t lport);
-  std::uint16_t ephemeral_port();
+  // Picks a free ephemeral port; with replicas, one whose inbound 4-tuple
+  // (peer:pport -> local:port) steers back to this shard.
+  std::uint16_t ephemeral_port(Ipv4Addr local, Ipv4Addr peer,
+                               std::uint16_t pport);
+  // True when `s` lies in this replica's own id range.
+  bool own_sock(SockId s) const {
+    return env_.sock_span == 0 ||
+           (s > env_.sock_base && s - env_.sock_base < env_.sock_span);
+  }
   std::uint32_t next_isn();
 
   void tcp_output(Conn& c);
@@ -329,7 +349,7 @@ class TcpEngine {
   TcpOptions opts_;
   Stats stats_;
 
-  SockId next_sock_ = 1;
+  SockId next_sock_ = 1;  // rebased onto env_.sock_base by the constructor
   std::uint16_t next_port_ = 30000;
   std::uint32_t isn_ = 0x1000;
   std::uint64_t next_cookie_ = 1;

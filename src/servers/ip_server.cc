@@ -1,5 +1,6 @@
 #include "src/servers/ip_server.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "src/net/pbuf.h"
@@ -11,6 +12,20 @@ IpServer::IpServer(NodeEnv* env, sim::SimCore* core, Config cfg)
 
 int IpServer::ifindex_of(const std::string& driver) {
   return std::atoi(driver.c_str() + 3);  // "drvN"
+}
+
+int IpServer::steer(const net::L4Packet& pkt, int shards) {
+  if (shards <= 1) return 0;
+  // Both TCP and UDP start with source and destination port, big-endian.
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  auto bytes = env().pools->read(pkt.frame);
+  if (bytes.size() >= static_cast<std::size_t>(pkt.l4_offset) + 4) {
+    net::ByteReader r{bytes.subspan(pkt.l4_offset, 4)};
+    sport = r.u16();
+    dport = r.u16();
+  }
+  return net::steer_shard(pkt.src, pkt.dst, sport, dport, shards);
 }
 
 void IpServer::build_engine() {
@@ -52,22 +67,28 @@ void IpServer::build_engine() {
     };
   }
   e.deliver_tcp = [this](net::L4Packet&& pkt) {
+    // The steering point of the sharded transport plane: one flow always
+    // hashes to the same replica, so replicas never share connections.
+    const std::string target =
+        tcp_shard_name(steer(pkt, cfg_.tcp_shards));
     chan::Message m;
     m.opcode = kL4Rx;
     m.ptr = pkt.frame;
     m.arg0 = (static_cast<std::uint64_t>(pkt.l4_offset) << 16) |
              pkt.l4_length;
     m.arg1 = pack_addrs(pkt.src, pkt.dst);
-    if (!send_to(kTcpName, m, cur())) engine_->rx_done(pkt.frame);
+    if (!send_to(target, m, cur())) engine_->rx_done(pkt.frame);
   };
   e.deliver_udp = [this](net::L4Packet&& pkt) {
+    const std::string target =
+        udp_shard_name(steer(pkt, cfg_.udp_shards));
     chan::Message m;
     m.opcode = kL4Rx;
     m.ptr = pkt.frame;
     m.arg0 = (static_cast<std::uint64_t>(pkt.l4_offset) << 16) |
              pkt.l4_length;
     m.arg1 = pack_addrs(pkt.src, pkt.dst);
-    if (!send_to(kUdpName, m, cur())) engine_->rx_done(pkt.frame);
+    if (!send_to(target, m, cur())) engine_->rx_done(pkt.frame);
   };
   e.seg_done = [this](std::uint64_t l4_cookie, bool sent) {
     auto it = l4_reqs_.find(l4_cookie);
@@ -86,7 +107,12 @@ void IpServer::start(bool restart) {
   hdr_pool_ = env().get_pool("ip.hdr", 16u << 20);
   rx_pool_ = env().get_pool("ip.rx", 32u << 20);
 
-  std::vector<std::string> peers = {kTcpName, kUdpName, kStoreName};
+  std::vector<std::string> peers;
+  for (int s = 0; s < std::max(1, cfg_.tcp_shards); ++s)
+    peers.push_back(tcp_shard_name(s));
+  for (int s = 0; s < std::max(1, cfg_.udp_shards); ++s)
+    peers.push_back(udp_shard_name(s));
+  peers.push_back(kStoreName);
   if (cfg_.use_pf) peers.push_back(kPfName);
   for (int ifindex : cfg_.ifindexes) peers.push_back(driver_name(ifindex));
   for (const auto& p : peers) {
@@ -214,12 +240,15 @@ void IpServer::on_message(const std::string& from, const chan::Message& m,
       if (m.arg0 != 0) {
         posted_[ifindex_of(from)] = 0;  // device was reset: rings are empty
         post_rx_buffers(ifindex_of(from), ctx);
-        // Tell the transports the path healed so they retransmit promptly.
+        // Tell every transport replica the path healed so they retransmit
+        // promptly.
         chan::Message up;
         up.opcode = kDrvLink;
         up.arg0 = 1;
-        send_to(kTcpName, up, ctx);
-        send_to(kUdpName, up, ctx);
+        for (int s = 0; s < std::max(1, cfg_.tcp_shards); ++s)
+          send_to(tcp_shard_name(s), up, ctx);
+        for (int s = 0; s < std::max(1, cfg_.udp_shards); ++s)
+          send_to(udp_shard_name(s), up, ctx);
       }
       return;
     case kL4RxDone:

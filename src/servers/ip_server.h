@@ -25,6 +25,10 @@ class IpServer : public Server {
     bool csum_offload = true;
     int rx_buffers_per_nic = 96;
     std::uint32_t rx_buf_size = 2048;
+    // Sharded transport plane: how many TCP/UDP replicas inbound frames
+    // are steered across (by 4-tuple hash).  1 = the classic single pair.
+    int tcp_shards = 1;
+    int udp_shards = 1;
   };
 
   IpServer(NodeEnv* env, sim::SimCore* core, Config cfg);
@@ -44,6 +48,9 @@ class IpServer : public Server {
   void store_config(sim::Context& ctx);
   void post_rx_buffers(int ifindex, sim::Context& ctx);
   static int ifindex_of(const std::string& driver);
+  // The transport replica an inbound packet is steered to: a 4-tuple hash
+  // over (src, dst) and the transport ports read out of the frame.
+  int steer(const net::L4Packet& pkt, int shards);
 
   Config cfg_;
   std::unique_ptr<net::IpEngine> engine_;

@@ -5,12 +5,17 @@
 namespace newtos::servers {
 
 PfServer::PfServer(NodeEnv* env, sim::SimCore* core,
-                   std::vector<net::PfRule> rules)
-    : Server(env, kPfName, core), initial_rules_(std::move(rules)) {}
+                   std::vector<net::PfRule> rules,
+                   std::vector<std::string> transports)
+    : Server(env, kPfName, core),
+      initial_rules_(std::move(rules)),
+      transports_(std::move(transports)) {}
 
 void PfServer::start(bool restart) {
   pool_ = env().get_pool("pf.buf", 2u << 20);
-  for (const char* p : {kIpName, kStoreName, kTcpName, kUdpName}) {
+  std::vector<std::string> peers = {kIpName, kStoreName};
+  peers.insert(peers.end(), transports_.begin(), transports_.end());
+  for (const auto& p : peers) {
     expose_in_queue(p, 1024);
     connect_out(p);
   }
@@ -53,8 +58,10 @@ void PfServer::save_rules(sim::Context& ctx) {
 }
 
 void PfServer::request_conn_lists(sim::Context& ctx) {
-  // Rebuild the connection table from the transports (Section V-D).
-  for (const char* peer : {kTcpName, kUdpName}) {
+  // Rebuild the connection table from every transport replica
+  // (Section V-D); each shard answers with its own flows and the replies
+  // merge in the engine.
+  for (const auto& peer : transports_) {
     chan::Message m;
     m.opcode = kConnList;
     m.req_id = request_db().add(peer, 0, {});

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/net/pf.h"
@@ -18,7 +19,10 @@ namespace newtos::servers {
 
 class PfServer : public Server {
  public:
-  PfServer(NodeEnv* env, sim::SimCore* core, std::vector<net::PfRule> rules);
+  // `transports` names every transport replica to query when rebuilding
+  // the connection table (all TCP and UDP shards).
+  PfServer(NodeEnv* env, sim::SimCore* core, std::vector<net::PfRule> rules,
+           std::vector<std::string> transports = {kTcpName, kUdpName});
 
   net::PfEngine* engine() { return engine_.get(); }
 
@@ -35,6 +39,7 @@ class PfServer : public Server {
   void request_conn_lists(sim::Context& ctx);
 
   std::vector<net::PfRule> initial_rules_;
+  std::vector<std::string> transports_;
   std::unique_ptr<net::PfEngine> engine_;
   chan::Pool* pool_ = nullptr;
 };

@@ -10,6 +10,11 @@ ReincarnationServer::ReincarnationServer(NodeEnv* env, sim::SimCore* core,
     : Server(env, "rs", core), cfg_(cfg) {}
 
 void ReincarnationServer::manage(Server* child) {
+  // Idempotent: re-managing a child must not push a duplicate entry, which
+  // would double-heartbeat it and double-count its restarts.
+  for (const auto& c : children_) {
+    if (c.server == child) return;
+  }
   children_.push_back(Child{child, 0, false});
   stats_.emplace(child->name(), ChildStats{});
 }

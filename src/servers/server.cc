@@ -172,6 +172,11 @@ bool Server::send_to(const std::string& peer, const chan::Message& m,
   return it->second.queue->try_send(m);
 }
 
+void Server::send_to_all(const std::vector<std::string>& peers,
+                         const chan::Message& m, sim::Context& ctx) {
+  for (const auto& peer : peers) send_to(peer, m, ctx);
+}
+
 void Server::announce(bool restarted) {
   announced_ = true;
   const std::string key = "server." + name_ + ".up";

@@ -73,10 +73,54 @@ struct NodeEnv {
   std::function<void(Server*)> report_crash;
   // Socket events (readable/connected/reset/...) routed to the owning
   // application actor; the data path bypasses the SYSCALL server
-  // (Section V-B).
-  std::function<void(char proto, std::uint32_t sock, std::uint8_t event)>
+  // (Section V-B).  `shard` names the transport replica that raised the
+  // event — for replicated state (listener accept queues, UDP sockets) it
+  // can differ from the shard the socket id encodes.
+  std::function<void(int shard, char proto, std::uint32_t sock,
+                     std::uint8_t event)>
       sock_event;
 };
+
+// --- shared teardown helpers ---------------------------------------------------------
+//
+// Every engine-hosting server tears down the same way: a dying (or
+// destructing) process has no handler context to send done-reports from, so
+// the engine's queued receive frames detach to direct pool releases before
+// the engine drops, and in-flight TX descriptors go straight back to the
+// staging pool.  These helpers replace the near-identical blocks that used
+// to live in each server's destructor and on_killed().
+
+// Detaches the engine's rx_done report (queued receive frames release
+// directly through the pool registry) and destroys it.
+template <typename EnginePtr>
+inline void drop_engine(EnginePtr& engine) {
+  if (engine) {
+    engine->detach_rx_done();
+    engine.reset();
+  }
+}
+
+// Releases every in-flight descriptor of `descs` into `pool` and clears the
+// map.  `proj` extracts the RichPtr from a map value (identity for plain
+// RichPtr maps).
+template <typename Map, typename Proj>
+inline void release_in_flight(chan::Pool* pool, Map& descs, Proj&& proj) {
+  if (pool != nullptr) {
+    for (auto& [key, value] : descs) {
+      const chan::RichPtr& p = proj(value);
+      if (p.valid()) pool->release(p);
+    }
+  }
+  descs.clear();
+}
+
+template <typename Map>
+inline void release_in_flight(chan::Pool* pool, Map& descs) {
+  release_in_flight(pool, descs,
+                    [](const chan::RichPtr& p) -> const chan::RichPtr& {
+                      return p;
+                    });
+}
 
 class Server {
  public:
@@ -178,6 +222,10 @@ class Server {
   // peer is down (callers apply their drop/defer policy).
   bool send_to(const std::string& peer, const chan::Message& m,
                sim::Context& ctx);
+  // Best-effort broadcast of `m` to every peer in `peers` (replica
+  // maintenance fan-out); down peers simply miss it and resync on announce.
+  void send_to_all(const std::vector<std::string>& peers,
+                   const chan::Message& m, sim::Context& ctx);
   bool peer_ready(const std::string& peer) const;
 
   // Declares this server announced ("server.<name>.up" published).  Called

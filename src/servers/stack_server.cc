@@ -14,14 +14,9 @@ StackServer::StackServer(NodeEnv* env, sim::SimCore* core, Config cfg,
       nics_(std::move(nics)) {}
 
 StackServer::~StackServer() {
-  if (tcp_) tcp_->detach_rx_done();
-  if (udp_) udp_->detach_rx_done();
-  tcp_.reset();
-  udp_.reset();
-  if (pool_ != nullptr) {
-    for (auto& [cookie, desc] : drv_descs_) pool_->release(desc);
-  }
-  drv_descs_.clear();
+  drop_engine(tcp_);
+  drop_engine(udp_);
+  release_in_flight(pool_, drv_descs_);
 }
 
 int StackServer::ifindex_of(const std::string& driver) {
@@ -140,7 +135,7 @@ void StackServer::build_engines() {
   te.rx_done = [this](const chan::RichPtr& frame) { ip_->rx_done(frame); };
   te.notify = [this](net::SockId s, net::TcpEvent ev) {
     if (env().sock_event)
-      env().sock_event('T', s, static_cast<std::uint8_t>(ev));
+      env().sock_event(0, 'T', s, static_cast<std::uint8_t>(ev));
   };
   tcp_ = std::make_unique<net::TcpEngine>(std::move(te), cfg_.tcp);
 
@@ -156,7 +151,7 @@ void StackServer::build_engines() {
   };
   ue.rx_done = [this](const chan::RichPtr& frame) { ip_->rx_done(frame); };
   ue.notify_readable = [this](net::SockId s) {
-    if (env().sock_event) env().sock_event('U', s, 0);
+    if (env().sock_event) env().sock_event(0, 'U', s, 0);
   };
   udp_ = std::make_unique<net::UdpEngine>(std::move(ue));
 }
@@ -283,11 +278,9 @@ void StackServer::on_killed() {
   pf_.reset();
   // The dying process cannot send done-reports; queued receive frames go
   // straight back to their owning pool (ip_ may already be gone when the
-  // engine destructors run).
-  if (tcp_) tcp_->detach_rx_done();
-  if (udp_) udp_->detach_rx_done();
-  tcp_.reset();
-  udp_.reset();
+  // engine destructors run).  In-flight descriptors leak, bounded per crash.
+  drop_engine(tcp_);
+  drop_engine(udp_);
   ip_.reset();
   drv_descs_.clear();
   posted_.clear();

@@ -1,29 +1,38 @@
 #include "src/servers/syscall_server.h"
 
+#include <algorithm>
+
 namespace newtos::servers {
 
 SyscallServer::SyscallServer(NodeEnv* env, sim::SimCore* core,
-                             std::string tcp_target, std::string udp_target)
+                             std::vector<std::string> tcp_targets,
+                             std::vector<std::string> udp_targets)
     : Server(env, kSyscallName, core),
-      tcp_target_(std::move(tcp_target)),
-      udp_target_(std::move(udp_target)) {}
+      tcp_targets_(std::move(tcp_targets)),
+      udp_targets_(std::move(udp_targets)) {
+  // Deterministic group/channel order: TCP shards first, then UDP shards
+  // (the combined stack collapses to one shared target).
+  targets_ = tcp_targets_;
+  for (const auto& t : udp_targets_) {
+    if (std::find(targets_.begin(), targets_.end(), t) == targets_.end())
+      targets_.push_back(t);
+  }
+}
 
 SyscallServer::~SyscallServer() {
   // Staged payloads (request.ptr) are NOT touched: the transport may have
   // executed the op already and own them — its own teardown releases them.
-  for (auto& [id, p] : pending_) {
-    if (p.chunk.valid() && pool_ != nullptr) pool_->release(p.chunk);
-  }
-  pending_.clear();
+  release_in_flight(pool_, pending_,
+                    [](const Pending& p) -> const chan::RichPtr& {
+                      return p.chunk;
+                    });
 }
 
 void SyscallServer::start(bool restart) {
   pool_ = env().get_pool("syscall.batch", 4u << 20);
-  expose_in_queue(tcp_target_, 1024);
-  connect_out(tcp_target_);
-  if (udp_target_ != tcp_target_) {
-    expose_in_queue(udp_target_, 1024);
-    connect_out(udp_target_);
+  for (const auto& t : targets_) {
+    expose_in_queue(t, 1024);
+    connect_out(t);
   }
   // Stateless: restart is trivial (Section V-B).  In-flight calls get
   // errors; old replies are ignored because pending_ died with us.
@@ -69,20 +78,36 @@ void SyscallServer::settle(std::map<std::uint64_t, Pending>::iterator it) {
 
 void SyscallServer::forward_batch(std::vector<BatchOp> ops,
                                   sim::Context& ctx) {
-  // Group per destination transport; each group travels as ONE packed
-  // kSockBatch channel message.
-  for (const std::string* target : {&tcp_target_, &udp_target_}) {
-    if (target == &udp_target_ && udp_target_ == tcp_target_) break;
+  // Resolve the transport shard of every op (opens round-robin, sentinel
+  // ops with their open, the rest by socket id), then group per target:
+  // each group travels as ONE packed kSockBatch channel message.
+  std::vector<WireSockOp> wire_in(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    wire_in[i] = sock_op_from_message(ops[i].proto, ops[i].request);
+  }
+  std::vector<std::string> target_of(ops.size());
+  route_sock_shards(
+      wire_in, static_cast<int>(tcp_targets_.size()),
+      static_cast<int>(udp_targets_.size()), open_rr_,
+      [&](std::size_t i, int shard) {
+        target_of[i] =
+            ops[i].proto == 'U' ? udp_targets_[shard] : tcp_targets_[shard];
+      },
+      [&](char proto, int shard) {
+        return peer_ready(proto == 'U' ? udp_targets_[shard]
+                                       : tcp_targets_[shard]);
+      });
+
+  for (const auto& target : targets_) {
     std::vector<std::size_t> idxs;
     std::vector<WireSockOp> wire;
     for (std::size_t i = 0; i < ops.size(); ++i) {
-      const std::string& t =
-          ops[i].proto == 'T' ? tcp_target_ : udp_target_;
-      if (t != *target) continue;
+      if (target_of[i] != target) continue;
       chan::Message fwd = ops[i].request;
       fwd.req_id = next_req_++;
       if (ops[i].proto == 'U') fwd.flags |= 2;  // proto marker, single ops
-      pending_[fwd.req_id] = Pending{ops[i].proto, fwd, ops[i].deliver, {}};
+      pending_[fwd.req_id] =
+          Pending{ops[i].proto, target, fwd, ops[i].deliver, {}};
       idxs.push_back(i);
       wire.push_back(sock_op_from_message(ops[i].proto, fwd));
     }
@@ -94,7 +119,7 @@ void SyscallServer::forward_batch(std::vector<BatchOp> ops,
       m.opcode = kSockBatch;
       m.arg0 = wire.size();
       m.ptr = chunk;
-      sent = send_to(*target, m, ctx);
+      sent = send_to(target, m, ctx);
     }
     if (!sent) {
       // Transport down or staging pool exhausted: fail every op of this
@@ -115,8 +140,6 @@ void SyscallServer::forward_batch(std::vector<BatchOp> ops,
       pending_[wire[k].req_id].chunk = chunk;
     }
   }
-  // In a combined-stack arrangement both protocols share one target; the
-  // loop above already sent everything through tcp_target_.
 }
 
 void SyscallServer::on_message(const std::string& from,
@@ -137,11 +160,12 @@ void SyscallServer::on_peer_up(const std::string& peer, bool restarted,
   if (!restarted) return;
   // Section V-D: for UDP we resubmit the last unfinished operation per
   // socket (duplicates preferred over losses); TCP "returns error to any
-  // operation the SYSCALL server resubmits except listen".
+  // operation the SYSCALL server resubmits except listen".  Only the ops
+  // that were in flight towards the restarted replica are affected — its
+  // siblings' flows never notice.
   std::vector<std::uint64_t> done;
   for (auto& [id, p] : pending_) {
-    const std::string& target = p.proto == 'T' ? tcp_target_ : udp_target_;
-    if (target != peer) continue;
+    if (p.target != peer) continue;
     const char proto = p.proto;
     // An op still naming the in-batch open sentinel cannot be resubmitted
     // standalone — its open's identity died with the batch; fail it so the

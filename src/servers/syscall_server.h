@@ -6,12 +6,18 @@
 // and forwards them over channels; it has no state worth recovering, except
 // that it remembers the last unfinished operation per socket so it can
 // resubmit (UDP, listen) or return an error (TCP) when a transport restarts.
+//
+// Sharded transport plane: each protocol may be served by N replicas.  The
+// SYSCALL server is the control-path steering point: opens are spread
+// round-robin over the replicas, every later op routes by the shard its
+// socket id encodes, and in-batch sentinel ops travel with their open.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/servers/proto.h"
@@ -23,11 +29,12 @@ class SyscallServer : public Server {
  public:
   using DeliverFn = std::function<void(const chan::Message&)>;
 
-  // `tcp_target`/`udp_target` name the servers handling each protocol: the
-  // TCP/UDP servers in the split stack, or the combined "stack" server.
+  // `tcp_targets`/`udp_targets` name the servers handling each protocol,
+  // one per shard: the TCP/UDP replicas in the split stack, or the single
+  // combined "stack" server.
   SyscallServer(NodeEnv* env, sim::SimCore* core,
-                std::string tcp_target = kTcpName,
-                std::string udp_target = kUdpName);
+                std::vector<std::string> tcp_targets = {kTcpName},
+                std::vector<std::string> udp_targets = {kUdpName});
   // Teardown: drops the staging-chunk references (and staged payloads) of
   // ops that never got a reply.
   ~SyscallServer() override;
@@ -41,7 +48,7 @@ class SyscallServer : public Server {
 
   // Entry point for application system calls: a whole submission-queue
   // flush arrives under ONE kernel-IPC message (the caller models the
-  // app-side trap), then travels to each transport as ONE packed
+  // app-side trap), then travels to each transport shard as ONE packed
   // kSockBatch channel message.  Replies are delivered per op.
   void submit_batch(std::vector<BatchOp> ops);
 
@@ -58,6 +65,7 @@ class SyscallServer : public Server {
  private:
   struct Pending {
     char proto = 'T';
+    std::string target;  // the transport shard the op was sent to
     chan::Message request;
     DeliverFn deliver;
     // The packed batch chunk this op rode in on; each op holds one
@@ -71,8 +79,10 @@ class SyscallServer : public Server {
   void forward_batch(std::vector<BatchOp> ops, sim::Context& ctx);
   void fail_op(const chan::Message& request, const DeliverFn& deliver);
 
-  std::string tcp_target_;
-  std::string udp_target_;
+  std::vector<std::string> tcp_targets_;
+  std::vector<std::string> udp_targets_;
+  std::vector<std::string> targets_;  // tcp ∪ udp, deduplicated, in order
+  ShardCursors open_rr_;        // round-robin cursors for new sockets
   chan::Pool* pool_ = nullptr;  // staging for packed kSockBatch arrays
   std::map<std::uint64_t, Pending> pending_;
   std::uint64_t next_req_ = 1;

@@ -1,5 +1,6 @@
 #include "src/servers/tcp_server.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/net/pbuf.h"
@@ -7,20 +8,23 @@
 namespace newtos::servers {
 
 TcpServer::TcpServer(NodeEnv* env, sim::SimCore* core, net::TcpOptions opts,
-                     std::function<net::Ipv4Addr(net::Ipv4Addr)> src_for)
-    : Server(env, kTcpName, core),
+                     std::function<net::Ipv4Addr(net::Ipv4Addr)> src_for,
+                     int shard, int shard_count)
+    : Server(env, tcp_shard_name(shard), core),
       opts_(opts),
-      src_for_(std::move(src_for)) {}
+      src_for_(std::move(src_for)),
+      shard_(shard),
+      shard_count_(shard_count),
+      siblings_(transport_shard_siblings('T', shard, shard_count)) {}
 
 TcpServer::~TcpServer() {
-  if (engine_) {
-    engine_->detach_rx_done();
-    engine_.reset();
-  }
-  if (pool_ != nullptr) {
-    for (auto& [cookie, desc] : tx_descs_) pool_->release(desc);
-  }
-  tx_descs_.clear();
+  drop_engine(engine_);
+  release_in_flight(pool_, tx_descs_);
+}
+
+bool TcpServer::is_sibling(const std::string& peer) const {
+  return std::find(siblings_.begin(), siblings_.end(), peer) !=
+         siblings_.end();
 }
 
 void TcpServer::build_engine() {
@@ -30,6 +34,12 @@ void TcpServer::build_engine() {
   e.pools = env().pools;
   e.buf_pool = pool_;
   e.src_for = src_for_;
+  e.shard = shard_;
+  e.shard_count = shard_count_;
+  if (shard_count_ > 1) {
+    e.sock_base = net::sock_shard_base(shard_);
+    e.sock_span = net::kSockShardSpan;
+  }
   e.output = [this](net::TxSeg&& seg, std::uint64_t cookie) {
     sim::Context& ctx = cur();
     // Segmentation work is charged here, per emitted segment — with TSO one
@@ -62,16 +72,20 @@ void TcpServer::build_engine() {
   };
   e.notify = [this](net::SockId s, net::TcpEvent ev) {
     if (env().sock_event)
-      env().sock_event('T', s, static_cast<std::uint8_t>(ev));
+      env().sock_event(shard_, 'T', s, static_cast<std::uint8_t>(ev));
   };
   engine_ = std::make_unique<net::TcpEngine>(std::move(e), opts_);
 }
 
 void TcpServer::start(bool restart) {
-  pool_ = env().get_pool("tcp.buf", 32u << 20);
+  pool_ = env().get_pool(name() + ".buf", 32u << 20);
   for (const char* p : {kIpName, kStoreName, kPfName, kSyscallName}) {
     expose_in_queue(p, 1024);
     connect_out(p);
+  }
+  for (const auto& sib : siblings_) {
+    expose_in_queue(sib, 256);
+    connect_out(sib);
   }
   build_engine();
   if (restart) {
@@ -89,9 +103,9 @@ void TcpServer::start(bool restart) {
 
 void TcpServer::on_killed() {
   // The dying process cannot send done-reports; queued receive frames go
-  // straight back to their owning pool.
-  if (engine_) engine_->detach_rx_done();
-  engine_.reset();  // all established connections are gone (Table I)
+  // straight back to their owning pool.  In-flight descriptor chunks leak,
+  // bounded per crash.
+  drop_engine(engine_);
   tx_descs_.clear();
 }
 
@@ -109,6 +123,29 @@ void TcpServer::save_listeners(sim::Context& ctx) {
   m.req_id = request_db().add(kStoreName, 0, {});
   m.ptr = chunk;
   if (!send_to(kStoreName, m, ctx)) pool_->release(chunk);
+}
+
+void TcpServer::replicate_listener(const net::TcpEngine::ListenRec& rec,
+                                   sim::Context& ctx,
+                                   const std::string* only) {
+  chan::Message m;
+  m.opcode = kShardRepListen;
+  m.socket = rec.id;
+  m.arg0 = rec.addr.value;
+  m.arg1 = (static_cast<std::uint64_t>(rec.port) << 16) |
+           static_cast<std::uint16_t>(rec.backlog);
+  if (only != nullptr) {
+    send_to(*only, m, ctx);
+    return;
+  }
+  send_to_all(siblings_, m, ctx);
+}
+
+void TcpServer::replicate_close(net::SockId s, sim::Context& ctx) {
+  chan::Message m;
+  m.opcode = kShardRepClose;
+  m.socket = s;
+  send_to_all(siblings_, m, ctx);
 }
 
 void TcpServer::handle_sock_request(
@@ -133,6 +170,13 @@ void TcpServer::handle_sock_request(
       break;
     case kSockListen:
       r.arg0 = engine_->listen(m.socket, static_cast<int>(m.arg0)) ? 1 : 0;
+      if (r.arg0 != 0 && !siblings_.empty()) {
+        // SO_REUSEPORT steering: every replica gets an accept queue for
+        // this port, so the 4-tuple hash may land a SYN on any of them.
+        for (const auto& rec : engine_->listeners()) {
+          if (rec.id == m.socket) replicate_listener(rec, ctx);
+        }
+      }
       save_listeners(ctx);
       break;
     case kSockConnect:
@@ -146,10 +190,13 @@ void TcpServer::handle_sock_request(
     case kSockSend:
       r.arg0 = engine_->send(m.socket, m.ptr) ? 1 : 0;
       break;
-    case kSockClose:
+    case kSockClose: {
+      const bool was_listener = engine_->is_listener(m.socket);
       r.arg0 = engine_->close(m.socket) ? 1 : 0;
+      if (was_listener && !siblings_.empty()) replicate_close(m.socket, ctx);
       save_listeners(ctx);
       break;
+    }
     default:
       r.arg0 = 0;
       break;
@@ -209,6 +256,21 @@ void TcpServer::on_message(const std::string& from, const chan::Message& m,
     case kDrvLink:
       if (m.arg0 != 0 && engine_) engine_->on_path_restored();
       return;
+    case kShardRepListen: {
+      // Replica records live only in the engine: restarts rebuild them
+      // from the siblings' re-seed, never from storage, so there is no
+      // store write here.
+      net::TcpEngine::ListenRec rec;
+      rec.id = m.socket;
+      rec.addr = net::Ipv4Addr{static_cast<std::uint32_t>(m.arg0)};
+      rec.port = static_cast<std::uint16_t>(m.arg1 >> 16);
+      rec.backlog = static_cast<int>(m.arg1 & 0xffff);
+      engine_->restore_listener(rec);
+      return;
+    }
+    case kShardRepClose:
+      engine_->close(m.socket);
+      return;
     case kStoreRelease:
       pool_->release(m.ptr);
       return;
@@ -221,8 +283,15 @@ void TcpServer::on_message(const std::string& from, const chan::Message& m,
         auto recs = net::TcpEngine::parse_listeners(env().pools->read(m.ptr));
         if (recs) {
           // "TCP can only restore listening sockets since they do not have
-          // any frequently changing state" (Section V-D).
-          for (const auto& rec : *recs) engine_->restore_listener(rec);
+          // any frequently changing state" (Section V-D).  Only HOME
+          // listeners restore from storage: replica records are re-seeded
+          // by the siblings on announce, which also reconciles listeners
+          // that were closed while this replica was down (a stored replica
+          // record could otherwise resurrect a dead port).
+          for (const auto& rec : *recs) {
+            if (shard_count_ == 1 || net::sock_shard(rec.id) == shard_)
+              engine_->restore_listener(rec);
+          }
         }
         chan::Message rel;
         rel.opcode = kStoreRelease;
@@ -256,17 +325,26 @@ void TcpServer::on_message(const std::string& from, const chan::Message& m,
 
 void TcpServer::on_peer_up(const std::string& peer, bool restarted,
                            sim::Context& ctx) {
-  (void)ctx;
   if (peer == kIpName && restarted) {
     // IP lost everything in flight: free our descriptors (replies to the old
     // requests will never arrive / are ignored) and retransmit quickly to
     // recover the original bitrate (Section V-D "IP", Figure 4).
-    for (auto& [cookie, desc] : tx_descs_) pool_->release(desc);
-    tx_descs_.clear();
+    release_in_flight(pool_, tx_descs_);
     if (engine_) engine_->on_ip_restart();
     return;
   }
-  if (peer == kStoreName && restarted) save_listeners(ctx);
+  if (peer == kStoreName && restarted) {
+    save_listeners(ctx);
+    return;
+  }
+  if (is_sibling(peer) && engine_) {
+    // A sibling replica came up (first boot or post-crash): push it our
+    // home listeners so its accept queue for every steered port exists.
+    // Upserts are idempotent, and its own storage may already have them.
+    for (const auto& rec : engine_->listeners()) {
+      if (net::sock_shard(rec.id) == shard_) replicate_listener(rec, ctx, &peer);
+    }
+  }
 }
 
 }  // namespace newtos::servers

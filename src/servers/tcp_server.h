@@ -4,11 +4,21 @@
 // connections die with the server, which is the paper's deliberate
 // trade-off: isolating the unrecoverable part keeps everything else
 // restartable.
+//
+// Sharded transport plane: the node may run N replicas of this server
+// (tcp, tcp1, ..., tcpN-1), each on its own core with its own engine,
+// channels and staging pool.  The IP server steers inbound frames to a
+// replica by 4-tuple hash; listener sockets are replicated to every shard
+// SO_REUSEPORT-style (each replica owns an accept queue for the port), so
+// any replica can accept the connections steered to it.  Replicas restart
+// individually: flows on sibling shards keep running while one recovers.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/net/tcp.h"
 #include "src/servers/proto.h"
@@ -19,13 +29,15 @@ namespace newtos::servers {
 class TcpServer : public Server {
  public:
   TcpServer(NodeEnv* env, sim::SimCore* core, net::TcpOptions opts,
-            std::function<net::Ipv4Addr(net::Ipv4Addr)> src_for);
+            std::function<net::Ipv4Addr(net::Ipv4Addr)> src_for,
+            int shard = 0, int shard_count = 1);
   // Releases everything still referenced (engine queues, in-flight
   // descriptors) straight into the pools: at teardown there is no handler
   // context to send done-reports from.
   ~TcpServer() override;
 
   net::TcpEngine* engine() { return engine_.get(); }
+  int shard() const { return shard_; }
 
   void handle_sock_request(const chan::Message& m, sim::Context& ctx,
                            const std::function<void(const chan::Message&)>&
@@ -42,9 +54,18 @@ class TcpServer : public Server {
  private:
   void build_engine();
   void save_listeners(sim::Context& ctx);
+  bool is_sibling(const std::string& peer) const;
+  // SO_REUSEPORT-style replication: pushes one listener record (or its
+  // removal) to every sibling replica / to one named sibling.
+  void replicate_listener(const net::TcpEngine::ListenRec& rec,
+                          sim::Context& ctx, const std::string* only = nullptr);
+  void replicate_close(net::SockId s, sim::Context& ctx);
 
   net::TcpOptions opts_;
   std::function<net::Ipv4Addr(net::Ipv4Addr)> src_for_;
+  int shard_ = 0;
+  int shard_count_ = 1;
+  std::vector<std::string> siblings_;
   std::unique_ptr<net::TcpEngine> engine_;
   chan::Pool* pool_ = nullptr;
   // kIpTx descriptors in flight; freed on kIpTxDone or IP restart.

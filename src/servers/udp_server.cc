@@ -1,5 +1,6 @@
 #include "src/servers/udp_server.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/net/pbuf.h"
@@ -7,18 +8,25 @@
 namespace newtos::servers {
 
 UdpServer::UdpServer(NodeEnv* env, sim::SimCore* core,
-                     std::function<net::Ipv4Addr(net::Ipv4Addr)> src_for)
-    : Server(env, kUdpName, core), src_for_(std::move(src_for)) {}
+                     std::function<net::Ipv4Addr(net::Ipv4Addr)> src_for,
+                     int shard, int shard_count)
+    : Server(env, udp_shard_name(shard), core),
+      src_for_(std::move(src_for)),
+      shard_(shard),
+      shard_count_(shard_count),
+      siblings_(transport_shard_siblings('U', shard, shard_count)) {}
 
 UdpServer::~UdpServer() {
-  if (engine_) {
-    engine_->detach_rx_done();
-    engine_.reset();
-  }
-  if (pool_ != nullptr) {
-    for (auto& [cookie, pending] : pending_tx_) pool_->release(pending.desc);
-  }
-  pending_tx_.clear();
+  drop_engine(engine_);
+  release_in_flight(pool_, pending_tx_,
+                    [](const PendingTx& p) -> const chan::RichPtr& {
+                      return p.desc;
+                    });
+}
+
+bool UdpServer::is_sibling(const std::string& peer) const {
+  return std::find(siblings_.begin(), siblings_.end(), peer) !=
+         siblings_.end();
 }
 
 void UdpServer::build_engine() {
@@ -27,6 +35,12 @@ void UdpServer::build_engine() {
   e.pools = env().pools;
   e.buf_pool = pool_;
   e.src_for = src_for_;
+  e.shard = shard_;
+  e.shard_count = shard_count_;
+  if (shard_count_ > 1) {
+    e.sock_base = net::sock_shard_base(shard_);
+    e.sock_span = net::kSockShardSpan;
+  }
   e.output = [this](net::TxSeg&& seg, std::uint64_t cookie) {
     sim::Context& ctx = cur();
     charge(ctx, 150);  // descriptor packing
@@ -56,16 +70,20 @@ void UdpServer::build_engine() {
     send_to(kIpName, m, cur());
   };
   e.notify_readable = [this](net::SockId s) {
-    if (env().sock_event) env().sock_event('U', s, 0);
+    if (env().sock_event) env().sock_event(shard_, 'U', s, 0);
   };
   engine_ = std::make_unique<net::UdpEngine>(std::move(e));
 }
 
 void UdpServer::start(bool restart) {
-  pool_ = env().get_pool("udp.buf", 8u << 20);
+  pool_ = env().get_pool(name() + ".buf", 8u << 20);
   for (const char* p : {kIpName, kStoreName, kPfName, kSyscallName}) {
     expose_in_queue(p);
     connect_out(p);
+  }
+  for (const auto& sib : siblings_) {
+    expose_in_queue(sib);
+    connect_out(sib);
   }
   build_engine();
   if (restart) {
@@ -83,10 +101,10 @@ void UdpServer::start(bool restart) {
 
 void UdpServer::on_killed() {
   // The dying process cannot send done-reports; queued receive frames go
-  // straight back to their owning pool.
-  if (engine_) engine_->detach_rx_done();
-  engine_.reset();
-  pending_tx_.clear();  // in-flight descriptors leak, bounded per crash
+  // straight back to their owning pool.  In-flight descriptors leak,
+  // bounded per crash.
+  drop_engine(engine_);
+  pending_tx_.clear();
 }
 
 void UdpServer::save_sockets(sim::Context& ctx) {
@@ -104,6 +122,29 @@ void UdpServer::save_sockets(sim::Context& ctx) {
   if (!send_to(kStoreName, m, ctx)) pool_->release(chunk);
 }
 
+void UdpServer::replicate_sock(net::SockId s, sim::Context& ctx,
+                               const std::string* only) {
+  auto rec = engine_->record(s);
+  if (!rec) return;
+  chan::Message m;
+  m.opcode = kShardRepSock;
+  m.socket = rec->id;
+  m.arg0 = pack_addrs(rec->local, rec->peer);
+  m.arg1 = (static_cast<std::uint64_t>(rec->lport) << 16) | rec->pport;
+  if (only != nullptr) {
+    send_to(*only, m, ctx);
+    return;
+  }
+  send_to_all(siblings_, m, ctx);
+}
+
+void UdpServer::replicate_close(net::SockId s, sim::Context& ctx) {
+  chan::Message m;
+  m.opcode = kShardRepClose;
+  m.socket = s;
+  send_to_all(siblings_, m, ctx);
+}
+
 void UdpServer::handle_sock_request(
     const chan::Message& m, sim::Context& ctx,
     const std::function<void(const chan::Message&)>& reply) {
@@ -113,6 +154,7 @@ void UdpServer::handle_sock_request(
   r.req_id = m.req_id;
   r.socket = m.socket;
   bool state_changed = false;
+  bool removed = false;
   switch (m.opcode) {
     case kSockOpen:
       r.arg0 = engine_->open();
@@ -136,26 +178,42 @@ void UdpServer::handle_sock_request(
                    : 0;
       state_changed = true;
       break;
-    case kSockSendTo:
+    case kSockSendTo: {
       charge(ctx, sim().costs().udp_packet_proc);
+      // sendto on an unbound socket auto-binds an ephemeral port — a state
+      // change the replicas must learn about, or the replies steered to
+      // them find no socket.
+      const auto before = engine_->record(m.socket);
       r.arg0 = engine_->sendto(
                    m.socket, m.ptr,
                    net::Ipv4Addr{static_cast<std::uint32_t>(m.arg0)},
                    static_cast<std::uint16_t>(m.arg1))
                    ? 1
                    : 0;
+      if (before && before->lport == 0) state_changed = true;
       break;
+    }
     case kSockClose:
       engine_->close(m.socket);
       r.arg0 = 1;
       state_changed = true;
+      removed = true;
       break;
     default:
       r.arg0 = 0;
       break;
   }
   reply(r);
-  if (state_changed) save_sockets(ctx);
+  if (state_changed) {
+    if (!siblings_.empty()) {
+      if (removed) {
+        replicate_close(m.socket, ctx);
+      } else {
+        replicate_sock(r.socket, ctx);
+      }
+    }
+    save_sockets(ctx);
+  }
 }
 
 void UdpServer::on_message(const std::string& from, const chan::Message& m,
@@ -203,6 +261,22 @@ void UdpServer::on_message(const std::string& from, const chan::Message& m,
       send_to(from, r, ctx);
       return;
     }
+    case kShardRepSock: {
+      // Replica records live only in the engine: restarts rebuild them
+      // from the siblings' re-seed, never from storage, so there is no
+      // store write here.
+      net::UdpEngine::SockRec rec;
+      rec.id = m.socket;
+      rec.local = unpack_hi(m.arg0);
+      rec.peer = unpack_lo(m.arg0);
+      rec.lport = static_cast<std::uint16_t>(m.arg1 >> 16);
+      rec.pport = static_cast<std::uint16_t>(m.arg1);
+      engine_->upsert(rec);
+      return;
+    }
+    case kShardRepClose:
+      engine_->close(m.socket);
+      return;
     case kStoreRelease:
       pool_->release(m.ptr);
       return;
@@ -213,7 +287,16 @@ void UdpServer::on_message(const std::string& from, const chan::Message& m,
       if (!request_db().complete(m.req_id)) return;
       if (m.arg0 != 0) {
         auto socks = net::UdpEngine::parse_socks(env().pools->read(m.ptr));
-        if (socks) engine_->restore(*socks);
+        if (socks) {
+          // Only HOME sockets restore from storage: replica records are
+          // re-seeded by the siblings on announce, which also reconciles
+          // sockets closed while this replica was down (a stored replica
+          // record could otherwise resurrect a dead socket).
+          for (const auto& rec : *socks) {
+            if (shard_count_ == 1 || net::sock_shard(rec.id) == shard_)
+              engine_->upsert(rec);
+          }
+        }
         chan::Message rel;
         rel.opcode = kStoreRelease;
         rel.ptr = m.ptr;
@@ -261,7 +344,17 @@ void UdpServer::on_peer_up(const std::string& peer, bool restarted,
     }
     return;
   }
-  if (peer == kStoreName && restarted) save_sockets(ctx);
+  if (peer == kStoreName && restarted) {
+    save_sockets(ctx);
+    return;
+  }
+  if (is_sibling(peer) && engine_) {
+    // A sibling replica came up: push it our home socket records so the
+    // datagrams steered to it find their sockets.  Upserts are idempotent.
+    for (const auto& rec : engine_->snapshot()) {
+      if (net::sock_shard(rec.id) == shard_) replicate_sock(rec.id, ctx, &peer);
+    }
+  }
 }
 
 }  // namespace newtos::servers

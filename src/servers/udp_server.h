@@ -2,11 +2,19 @@
 // socket 4-tuples, stored on every change (they change rarely) and reloaded
 // on restart, so a crash is transparent to applications — at worst a
 // datagram is duplicated or lost, which UDP callers tolerate by contract.
+//
+// Sharded transport plane: the node may run N replicas (udp, udp1, ...),
+// each on its own core.  A datagram from an arbitrary peer hashes to an
+// arbitrary replica, so the whole (small) socket table is replicated to
+// every shard on each change; the receive queues stay per replica and the
+// socket layer drains them all.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/net/udp.h"
 #include "src/servers/proto.h"
@@ -19,12 +27,14 @@ class UdpServer : public Server {
   // `src_for` selects a source address for unbound sockets (static routing
   // knowledge baked in at build time, like an /etc/ip config).
   UdpServer(NodeEnv* env, sim::SimCore* core,
-            std::function<net::Ipv4Addr(net::Ipv4Addr)> src_for);
+            std::function<net::Ipv4Addr(net::Ipv4Addr)> src_for,
+            int shard = 0, int shard_count = 1);
   // Teardown: releases engine queues and in-flight descriptors straight
   // into the pools (no handler context for done-reports).
   ~UdpServer() override;
 
   net::UdpEngine* engine() { return engine_.get(); }
+  int shard() const { return shard_; }
 
   // Socket control entry point shared by the channel path (on_message) and
   // the direct kernel-IPC path (Table II line 2).  `reply` delivers the
@@ -44,8 +54,17 @@ class UdpServer : public Server {
  private:
   void build_engine();
   void save_sockets(sim::Context& ctx);
+  bool is_sibling(const std::string& peer) const;
+  // Pushes one socket record (or its removal) to every sibling replica /
+  // to one named sibling.
+  void replicate_sock(net::SockId s, sim::Context& ctx,
+                      const std::string* only = nullptr);
+  void replicate_close(net::SockId s, sim::Context& ctx);
 
   std::function<net::Ipv4Addr(net::Ipv4Addr)> src_for_;
+  int shard_ = 0;
+  int shard_count_ = 1;
+  std::vector<std::string> siblings_;
   std::unique_ptr<net::UdpEngine> engine_;
   chan::Pool* pool_ = nullptr;
   struct PendingTx {
