@@ -7,6 +7,7 @@
 // breaking.  Driver crashes look the same, for the same reason.
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "src/core/apps.h"
 #include "src/core/fault_injection.h"
 #include "src/core/testbed.h"
@@ -41,8 +42,12 @@ int main() {
 
   std::printf("Figure 4: IP crash at t=4s, single TCP connection, 1 GbE\n");
   std::printf("%8s %12s\n", "time(s)", "Mbps");
+  benchjson::Writer jw("fig4");
   for (const auto& p : tb.peer().stats().series("fig4.mbps")) {
     std::printf("%8.1f %12.1f\n", p.t / 1e9, p.value);
+    jw.begin_row();
+    jw.field("t_s", p.t / 1e9);
+    jw.field("mbps", p.value);
   }
   for (const auto& [t, msg] : tb.newtos().stats().events()) {
     std::printf("# event %.3fs: %s\n", t / 1e9, msg.c_str());
@@ -55,6 +60,13 @@ int main() {
       static_cast<unsigned long long>(tcp.stats().bytes_retx));
   // Messages dropped/deferred at full channel queues during the outage
   // (the Section IV-A drop policy), per queue.
+  jw.begin_row();
+  jw.field("label", std::string("summary"));
+  jw.field("connection_survived",
+           static_cast<std::uint64_t>(tcp.connection_count() > 0 ? 1 : 0));
+  jw.field("nic_resets", tb.newtos().nic(0)->stats().resets);
+  jw.field("bytes_retx", tcp.stats().bytes_retx);
+  jw.write("BENCH_fig4.json");
   std::printf("# channel send failures: %llu\n",
               static_cast<unsigned long long>(
                   tb.newtos().publish_channel_stats()));

@@ -8,6 +8,7 @@
 // from the TCP/UDP servers.
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "src/core/apps.h"
 #include "src/core/fault_injection.h"
 #include "src/core/testbed.h"
@@ -44,8 +45,12 @@ int main() {
   std::printf(
       "Figure 5: packet filter crashes at t=6s and t=12s (1024 rules)\n");
   std::printf("%8s %12s\n", "time(s)", "Mbps");
+  benchjson::Writer jw("fig5");
   for (const auto& p : tb.peer().stats().series("fig5.mbps")) {
     std::printf("%8.1f %12.1f\n", p.t / 1e9, p.value);
+    jw.begin_row();
+    jw.field("t_s", p.t / 1e9);
+    jw.field("mbps", p.value);
   }
   auto* pf = static_cast<servers::PfServer*>(
       tb.newtos().server(servers::kPfName));
@@ -59,6 +64,17 @@ int main() {
       static_cast<unsigned long long>(
           tb.newtos().reincarnation()->child_stats().at(servers::kPfName)
               .restarts));
+  jw.begin_row();
+  jw.field("label", std::string("summary"));
+  jw.field("pf_rules_recovered",
+           static_cast<std::uint64_t>(pf->engine()->rules().size()));
+  jw.field("connection_survived",
+           static_cast<std::uint64_t>(tcp.connection_count() > 0 ? 1 : 0));
+  jw.field("bytes_retx", tcp.stats().bytes_retx);
+  jw.field("pf_restarts",
+           tb.newtos().reincarnation()->child_stats().at(servers::kPfName)
+               .restarts);
+  jw.write("BENCH_fig5.json");
   std::printf("# channel send failures: %llu\n",
               static_cast<unsigned long long>(
                   tb.newtos().publish_channel_stats()));

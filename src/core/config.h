@@ -51,6 +51,16 @@ struct NodeConfig {
   // row exactly what it always was.
   int tcp_shards = 1;
   int udp_shards = 1;
+  // Receive-side batching, the RX mirror of TSO.  Default off: every
+  // Table II row keeps the classic one-interrupt-one-message-per-frame
+  // path, byte for byte.  With rx_coalesce_frames > 1 the NICs coalesce RX
+  // interrupts into bursts (bounded by the frame count and the usec
+  // hold-off) and each burst crosses driver -> IP as one kDrvRxBurst
+  // message; with gro additionally set, IP merges in-order same-flow TCP
+  // segments of a burst into one kL4RxAgg super-segment for the transport.
+  int rx_coalesce_frames = 0;
+  std::uint32_t rx_coalesce_usecs = 50;
+  bool gro = false;
   // Addressing: NIC i sits on 10.(subnet_base+i).0.0/24; this host takes
   // .1 when `left`, .2 otherwise.
   std::uint8_t subnet_base = 1;

@@ -145,6 +145,8 @@ void Node::build() {
     drv::SimNic::Config nc;
     nc.hw_tso = true;
     nc.hw_csum = true;
+    nc.rx_coalesce_frames = cfg_.rx_coalesce_frames;
+    nc.rx_coalesce_usecs = cfg_.rx_coalesce_usecs;
     nics_.push_back(std::make_unique<drv::SimNic>(
         sim_, pools_, net::MacAddr::local(g_mac_counter++), nc));
   }
@@ -239,6 +241,7 @@ void Node::build() {
     ic.csum_offload = cfg_.csum_offload;
     ic.tcp_shards = tcp_shards;
     ic.udp_shards = udp_shards;
+    ic.gro = cfg_.gro;
     auto ip = std::make_unique<servers::IpServer>(&env_, fresh_core("ip"),
                                                   ic);
     ip_ = ip.get();
@@ -319,6 +322,24 @@ std::uint64_t Node::publish_channel_stats() {
     total += failures;
   }
   stats_.set("chan.send_failures", total);
+  // The drop/defer policy's other blind spot: frames the drivers had to
+  // drop because IP's queue was full.  Counted per driver and in total.
+  std::uint64_t rx_dropped = 0;
+  for (const auto& [name, srv] : servers_) {
+    auto* drv = dynamic_cast<servers::DriverServer*>(srv.get());
+    if (drv == nullptr) continue;
+    if (drv->rx_dropped() > 0) {
+      stats_.set(name + ".rx_dropped", drv->rx_dropped());
+    }
+    rx_dropped += drv->rx_dropped();
+  }
+  stats_.set("drv.rx_dropped", rx_dropped);
+  return total;
+}
+
+std::uint64_t Node::total_channel_messages() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, q] : queues_) total += q->sends();
   return total;
 }
 

@@ -54,9 +54,13 @@ class Node {
   SocketApi& sockets() { return *sockets_; }
 
   // Publishes per-queue "chan.<queue>.send_failures" counters (plus the
-  // "chan.send_failures" total) into stats() and returns the total — the
-  // Section IV-A drop/defer policy made visible instead of silent.
+  // "chan.send_failures" total) and the drivers' "drv.rx_dropped" into
+  // stats() and returns the send-failure total — the Section IV-A
+  // drop/defer policy made visible instead of silent.
   std::uint64_t publish_channel_stats();
+  // Messages successfully sent over this node's channels so far — the
+  // numerator of the benches' msgs-per-frame datapoints.
+  std::uint64_t total_channel_messages() const;
 
   // --- servers -------------------------------------------------------------------------
   servers::Server* server(const std::string& name);

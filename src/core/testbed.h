@@ -27,6 +27,11 @@ struct TestbedOptions {
   // Sharded transport plane on the system under test (split modes only).
   int tcp_shards = 1;
   int udp_shards = 1;
+  // Receive-side batching on the system under test (default off: the
+  // classic per-frame RX path, byte for byte).
+  int rx_coalesce_frames = 0;
+  std::uint32_t rx_coalesce_usecs = 50;
+  bool gro = false;
   sim::Time wire_latency = 20 * sim::kMicrosecond;
   std::uint64_t seed = 42;
 };

@@ -170,7 +170,39 @@ void SimNic::wire_deliver(std::vector<std::byte>&& bytes) {
     return;
   }
   ++stats_.rx_frames;
+  if (coalescing() && on_rx_burst_) {
+    // Interrupt coalescing: park the completed descriptor; the interrupt
+    // fires when the burst threshold is met or the hold-off timer expires,
+    // whichever is first.
+    rx_accum_.push_back(
+        RxCompletion{buf, static_cast<std::uint32_t>(bytes.size())});
+    if (static_cast<int>(rx_accum_.size()) >= cfg_.rx_coalesce_frames) {
+      flush_rx_burst(false);
+      return;
+    }
+    if (rx_accum_.size() == 1) {
+      const std::uint64_t gen = ++rx_timer_gen_;
+      const std::uint32_t epoch = reset_epoch_;
+      sim_.after(static_cast<sim::Time>(cfg_.rx_coalesce_usecs) *
+                     sim::kMicrosecond,
+                 [this, gen, epoch] {
+                   if (epoch != reset_epoch_ || gen != rx_timer_gen_) return;
+                   flush_rx_burst(true);
+                 });
+    }
+    return;
+  }
   if (on_rx_) on_rx_(buf, static_cast<std::uint32_t>(bytes.size()));
+}
+
+void SimNic::flush_rx_burst(bool timer_expired) {
+  if (rx_accum_.empty()) return;
+  ++rx_timer_gen_;  // cancel the armed hold-off timer, if any
+  ++stats_.rx_bursts;
+  if (timer_expired) ++stats_.rx_timer_flushes;
+  std::vector<RxCompletion> burst;
+  burst.swap(rx_accum_);
+  if (on_rx_burst_) on_rx_burst_(std::move(burst));
 }
 
 void SimNic::reset() {
@@ -178,6 +210,11 @@ void SimNic::reset() {
   ++reset_epoch_;
   tx_ring_.clear();  // shadow descriptors are gone; completions never fire
   rx_ring_.clear();
+  // Coalesced-but-unraised completions die with the rings: like the posted
+  // RX buffers above, the chunks belong to IP's pool and are recovered when
+  // IP reposts after the link comes back.
+  rx_accum_.clear();
+  ++rx_timer_gen_;
   tx_pumping_ = false;
   wedged_ = false;  // reconfiguration clears a misconfigured device
   if (link_up_) {

@@ -188,6 +188,12 @@ void IpEngine::pf_verdict(std::uint64_t cookie, bool allow) {
     }
     continue_output(std::move(pending.seg), pending.l4_cookie,
                     pending.ifindex, pending.ip_hdr.dst);
+  } else if (pending.is_agg) {
+    if (!allow) {
+      drop_agg(std::move(pending.agg));
+      return;
+    }
+    deliver_agg(std::move(pending.agg));
   } else {
     if (!allow) {
       ++stats_.dropped_pf;
@@ -450,6 +456,188 @@ void IpEngine::input(int ifindex, chan::RichPtr frame) {
     return;
   }
   deliver_inbound(ifindex, frame, *ip, l4_offset, l4_length);
+}
+
+// --- receive-side aggregation (GRO) ------------------------------------------------
+
+namespace {
+
+// The per-frame facts GRO needs to decide mergeability.  Parsed once per
+// frame of a burst; ineligible frames re-parse on the classic input() path
+// (they are the rare case by construction of the burst).
+struct GroInfo {
+  bool eligible = false;        // in-order-mergeable TCP data segment
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  std::uint32_t seq = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t l4_offset = 0;
+  std::uint16_t l4_length = 0;
+  std::uint16_t payload_len = 0;
+};
+
+GroInfo gro_classify(std::span<const std::byte> bytes,
+                     const Interface* ifp) {
+  GroInfo info;
+  if (ifp == nullptr || bytes.size() < kEthHeaderLen + kIpHeaderLen) {
+    return info;
+  }
+  ByteReader r{bytes};
+  auto eth = EthHeader::parse(r);
+  if (!eth || eth->ethertype != kEtherTypeIpv4) return info;
+  auto ip = Ipv4Header::parse(r);
+  if (!ip || ip->protocol != kProtoTcp || ip->dst != ifp->addr) return info;
+  if (ip->total_length > bytes.size() - kEthHeaderLen) return info;
+  const std::uint16_t l4_offset =
+      static_cast<std::uint16_t>(kEthHeaderLen + kIpHeaderLen);
+  const std::uint16_t l4_length =
+      static_cast<std::uint16_t>(ip->total_length - kIpHeaderLen);
+  if (l4_length < kTcpHeaderLen ||
+      bytes.size() < static_cast<std::size_t>(l4_offset) + kTcpHeaderLen) {
+    return info;
+  }
+  ByteReader tr{bytes.subspan(l4_offset, kTcpHeaderLen)};
+  auto h = TcpHeader::parse(tr);
+  if (!h) return info;
+  const std::uint16_t payload =
+      static_cast<std::uint16_t>(l4_length - kTcpHeaderLen);
+  // Only plain in-stream data merges: SYN/FIN/RST (and anything else
+  // exotic) must be seen by TCP one segment at a time, and a pure ACK
+  // carries sender-clocking information per frame.
+  if (payload == 0 ||
+      (h->flags & ~(tcpflag::kAck | tcpflag::kPsh)) != 0 ||
+      !h->has(tcpflag::kAck)) {
+    return info;
+  }
+  info.eligible = true;
+  info.src = ip->src;
+  info.dst = ip->dst;
+  info.sport = h->src_port;
+  info.dport = h->dst_port;
+  info.seq = h->seq;
+  info.flags = h->flags;
+  info.l4_offset = l4_offset;
+  info.l4_length = l4_length;
+  info.payload_len = payload;
+  return info;
+}
+
+}  // namespace
+
+void IpEngine::deliver_agg(L4AggPacket&& agg) {
+  stats_.gro_aggs += 1;
+  stats_.gro_frames += agg.segs.size();
+  stats_.rx_delivered += agg.segs.size();
+  if (env_.deliver_tcp_agg) {
+    env_.deliver_tcp_agg(std::move(agg));
+    return;
+  }
+  for (auto& seg : agg.segs) {
+    if (env_.deliver_tcp) {
+      env_.deliver_tcp(std::move(seg));
+    } else {
+      rx_done(seg.frame);
+    }
+  }
+}
+
+void IpEngine::drop_agg(L4AggPacket&& agg) {
+  stats_.dropped_pf += agg.segs.size();
+  for (auto& seg : agg.segs) rx_done(seg.frame);
+}
+
+void IpEngine::input_burst(int ifindex,
+                           std::span<const chan::RichPtr> frames) {
+  const Interface* ifp = iface(ifindex);
+
+  L4AggPacket agg;             // aggregate under construction
+  std::uint32_t agg_next_seq = 0;
+  bool agg_psh = false;        // a PSH frame closes its aggregate
+  // PF queries raised by this burst's aggregates; batched while consecutive.
+  std::vector<std::pair<PfQuery, std::uint64_t>> queries;
+
+  // PF answers strictly in submission order, and delivery order follows
+  // verdict order — so the pending batch must reach PF before any frame
+  // that takes the classic input() path files its own per-frame query, or
+  // a later segment could overtake an earlier aggregate of its own flow.
+  auto flush_queries = [&] {
+    if (queries.empty()) return;
+    if (env_.pf_check_batch) {
+      env_.pf_check_batch(queries);
+    } else {
+      for (const auto& [q, cookie] : queries) env_.pf_check(q, cookie);
+    }
+    queries.clear();
+  };
+
+  auto finish_agg = [&] {
+    if (agg.segs.empty()) return;
+    if (agg.segs.size() == 1) {
+      // A lone frame takes the classic path — including its own per-frame
+      // PF query — so single-frame behavior is exactly what it always was.
+      chan::RichPtr frame = agg.segs.front().frame;
+      agg.segs.clear();
+      flush_queries();
+      input(ifindex, frame);
+      agg = L4AggPacket{};
+      return;
+    }
+    stats_.rx_frames += agg.segs.size();
+    if (env_.pf_check) {
+      PfQuery q;
+      q.dir = PfDir::In;
+      q.protocol = kProtoTcp;
+      q.src = agg.src;
+      q.dst = agg.dst;
+      q.sport = agg.sport;
+      q.dport = agg.dport;
+      q.tcp_flags = agg_psh ? static_cast<std::uint8_t>(tcpflag::kAck |
+                                                        tcpflag::kPsh)
+                            : tcpflag::kAck;
+      const std::uint64_t cookie = next_cookie_++;
+      PendingPf pending;
+      pending.query = q;
+      pending.outbound = false;
+      pending.ifindex = ifindex;
+      pending.is_agg = true;
+      pending.agg = std::move(agg);
+      pf_pending_.emplace(cookie, std::move(pending));
+      queries.emplace_back(q, cookie);
+    } else {
+      deliver_agg(std::move(agg));
+    }
+    agg = L4AggPacket{};
+  };
+
+  for (const chan::RichPtr& frame : frames) {
+    const GroInfo info = gro_classify(env_.pools->read(frame), ifp);
+    if (!info.eligible) {
+      finish_agg();
+      flush_queries();
+      input(ifindex, frame);  // the classic per-frame path, verbatim
+      continue;
+    }
+    const bool continues =
+        !agg.segs.empty() && !agg_psh && info.src == agg.src &&
+        info.sport == agg.sport && info.dport == agg.dport &&
+        info.seq == agg_next_seq;
+    if (!continues) finish_agg();
+    if (agg.segs.empty()) {
+      agg.src = info.src;
+      agg.dst = info.dst;
+      agg.sport = info.sport;
+      agg.dport = info.dport;
+      agg_psh = false;
+    }
+    agg.segs.push_back(L4Packet{frame, info.l4_offset, info.l4_length,
+                                info.src, info.dst});
+    agg_next_seq = info.seq + info.payload_len;
+    if ((info.flags & tcpflag::kPsh) != 0) agg_psh = true;
+  }
+  finish_agg();
+  flush_queries();
 }
 
 void IpEngine::deliver_inbound(int ifindex, chan::RichPtr frame,

@@ -13,7 +13,9 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/chan/pool.h"
@@ -60,6 +62,18 @@ struct L4Packet {
   Ipv4Addr dst;
 };
 
+// A GRO super-segment: consecutive in-order TCP segments of one flow,
+// merged at the IP -> TCP boundary so the transport pays its per-segment
+// charge once per aggregate.  Because all members share one 4-tuple, an
+// aggregate can never span transport shards.
+struct L4AggPacket {
+  std::vector<L4Packet> segs;   // in arrival order, seq-consecutive
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  std::uint16_t sport = 0;      // steering tuple (remote end first)
+  std::uint16_t dport = 0;
+};
+
 class IpEngine {
  public:
   struct Env {
@@ -79,6 +93,14 @@ class IpEngine {
     // Deliver transport payloads upward.
     std::function<void(L4Packet&&)> deliver_tcp;
     std::function<void(L4Packet&&)> deliver_udp;
+    // Deliver a GRO aggregate upward.  May be empty: aggregates then fall
+    // back to per-segment deliver_tcp (GRO effectively off above IP).
+    std::function<void(L4AggPacket&&)> deliver_tcp_agg;
+    // Batched variant of pf_check: all aggregate queries raised by one RX
+    // burst travel together.  May be empty: queries go out one by one.
+    std::function<void(
+        std::span<const std::pair<PfQuery, std::uint64_t>>)>
+        pf_check_batch;
     // Completion towards L4: the segment with `l4_cookie` was transmitted
     // (or dropped, sent=false).  Only after this may L4 free its header.
     std::function<void(std::uint64_t l4_cookie, bool sent)> seg_done;
@@ -96,6 +118,8 @@ class IpEngine {
     std::uint64_t dropped_malformed = 0;
     std::uint64_t dropped_arp_timeout = 0;
     std::uint64_t icmp_echo_replies = 0;
+    std::uint64_t gro_aggs = 0;    // aggregates delivered (>= 2 frames each)
+    std::uint64_t gro_frames = 0;  // frames merged into aggregates
   };
 
   IpEngine(Env env, IpConfig cfg);
@@ -107,6 +131,12 @@ class IpEngine {
 
   // --- driver -> IP ------------------------------------------------------------
   void input(int ifindex, chan::RichPtr frame);
+  // A coalesced RX burst.  Consecutive in-order same-4-tuple TCP data
+  // segments are merged into aggregates (GRO); everything else — and every
+  // aggregate of one — takes the exact per-frame input() path.  Flags
+  // beyond ACK/PSH, out-of-order arrivals and flow changes flush the
+  // aggregate under construction.
+  void input_burst(int ifindex, std::span<const chan::RichPtr> frames);
   void tx_done(std::uint64_t cookie, bool ok);
 
   // --- PF -> IP ------------------------------------------------------------------
@@ -155,6 +185,9 @@ class IpEngine {
     std::uint16_t l4_offset = 0;
     std::uint16_t l4_length = 0;
     Ipv4Header ip_hdr;
+    // inbound GRO aggregate (is_agg: `agg` replaces `frame`):
+    bool is_agg = false;
+    L4AggPacket agg;
   };
   struct AwaitingArp {  // routed, allowed, waiting for next-hop MAC
     TxSeg seg;
@@ -176,6 +209,8 @@ class IpEngine {
   void deliver_inbound(int ifindex, chan::RichPtr frame,
                        const Ipv4Header& ip_hdr, std::uint16_t l4_offset,
                        std::uint16_t l4_length);
+  void deliver_agg(L4AggPacket&& agg);
+  void drop_agg(L4AggPacket&& agg);
   void handle_icmp(int ifindex, const chan::RichPtr& frame,
                    const Ipv4Header& ip_hdr, std::uint16_t l4_offset,
                    std::uint16_t l4_length);

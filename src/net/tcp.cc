@@ -940,6 +940,102 @@ void TcpEngine::input(L4Packet&& pkt) {
   if (!frame_retained) env_.rx_done(pkt.frame);
 }
 
+void TcpEngine::input_agg(std::vector<L4Packet>&& segs) {
+  if (segs.empty()) return;
+
+  // Validate the fast-path preconditions: an established connection, every
+  // member a plain in-window data segment, seq-consecutive, starting
+  // exactly at rcv_nxt, and the whole aggregate fitting the receive
+  // window.  IP only merges same-flow consecutive segments, but the
+  // connection-level facts (rcv_nxt, window, state) live here.
+  struct Parsed {
+    TcpHeader h;
+    std::uint16_t data_off = 0;
+    std::uint16_t data_len = 0;
+  };
+  std::vector<Parsed> parsed;
+  parsed.reserve(segs.size());
+  Conn* c = nullptr;
+  std::uint32_t total = 0;
+  bool fast = true;
+  for (std::size_t i = 0; i < segs.size() && fast; ++i) {
+    const L4Packet& pkt = segs[i];
+    auto bytes = env_.pools->read(pkt.frame);
+    if (bytes.size() <
+            static_cast<std::size_t>(pkt.l4_offset) + kTcpHeaderLen ||
+        pkt.l4_length < kTcpHeaderLen) {
+      fast = false;
+      break;
+    }
+    ByteReader r{bytes.subspan(pkt.l4_offset, pkt.l4_length)};
+    auto h = TcpHeader::parse(r);
+    if (!h) {
+      fast = false;
+      break;
+    }
+    Parsed p;
+    p.h = *h;
+    p.data_off = static_cast<std::uint16_t>(pkt.l4_offset + r.consumed());
+    p.data_len = static_cast<std::uint16_t>(pkt.l4_length - r.consumed());
+    if (p.data_len == 0 ||
+        (p.h.flags & ~(tcpflag::kAck | tcpflag::kPsh)) != 0) {
+      fast = false;
+      break;
+    }
+    if (i == 0) {
+      c = conn_by_tuple(segs[0].src, p.h.src_port, p.h.dst_port);
+      if (c == nullptr || c->state != TcpState::Established || c->peer_fin ||
+          p.h.seq != c->rcv_nxt) {
+        fast = false;
+        break;
+      }
+    } else if (p.h.seq != parsed.back().h.seq + parsed.back().data_len) {
+      fast = false;
+      break;
+    }
+    total += p.data_len;
+    parsed.push_back(p);
+  }
+  if (fast && total > rcv_space(*c)) fast = false;
+
+  if (!fast) {
+    // Per-segment fallback: identical semantics to a non-aggregated burst.
+    for (auto& seg : segs) input(std::move(seg));
+    return;
+  }
+
+  stats_.segs_in += segs.size();
+  ++stats_.aggs_in;
+  stats_.agg_frames_in += segs.size();
+
+  // The last header carries the freshest cumulative ACK and window.
+  process_ack(*c, parsed.back().h);
+  if (c->state != TcpState::Established) {
+    // process_ack never changes Established by itself, but be defensive:
+    // fall back rather than queue data on a torn-down connection.
+    for (auto& seg : segs) input(std::move(seg));
+    return;
+  }
+
+  const bool was_empty = c->rcvq_bytes == 0;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    RecvChunk rc;
+    rc.frame = segs[i].frame;
+    rc.offset = parsed[i].data_off;
+    rc.len = parsed[i].data_len;
+    c->rcvq.push_back(rc);
+  }
+  c->rcvq_bytes += total;
+  c->rcv_nxt += total;
+  stats_.bytes_in += total;
+
+  // One stretch ACK covers the whole aggregate — the receive-side mirror of
+  // TSO's one-header-per-superframe.
+  send_ack(*c);
+  tcp_output(*c);
+  if (was_empty && total > 0) notify(c->sock, TcpEvent::Readable);
+}
+
 void TcpEngine::accept_data(Conn& c, const L4Packet& pkt, const TcpHeader& h,
                             std::uint16_t data_off, std::uint16_t data_len) {
   std::uint32_t seq = h.seq;

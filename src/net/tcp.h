@@ -118,6 +118,8 @@ class TcpEngine {
     std::uint64_t ooo_dropped = 0;
     std::uint64_t resets_out = 0;
     std::uint64_t conns_established = 0;
+    std::uint64_t aggs_in = 0;        // GRO aggregates taken on the fast path
+    std::uint64_t agg_frames_in = 0;  // frames those aggregates carried
   };
 
   TcpEngine(Env env, TcpOptions opts);
@@ -183,6 +185,11 @@ class TcpEngine {
 
   // --- from IP ------------------------------------------------------------------
   void input(L4Packet&& pkt);
+  // A GRO aggregate: same-flow, seq-consecutive data segments merged by IP.
+  // The fast path charges the connection machinery once for the whole
+  // aggregate and answers with ONE (stretch) ACK; anything that fails the
+  // fast-path preconditions falls back to per-segment input().
+  void input_agg(std::vector<L4Packet>&& segs);
   void seg_done(std::uint64_t cookie, bool sent);
   // After an IP crash: replies to old cookies will never arrive.  Frees all
   // pending headers (data stays in sndq) and retransmits aggressively so the

@@ -4,6 +4,22 @@
 
 namespace newtos::servers {
 
+void DriverServer::forward_rx_frame(const chan::RichPtr& buf,
+                                    std::uint32_t len, sim::Context& ctx) {
+  chan::Message m;
+  m.opcode = kDrvRx;
+  m.ptr = buf;
+  m.ptr.length = len;  // actual frame length within the buffer
+  ++rx_msgs_;
+  if (!send_to(ip_name_, m, ctx)) {
+    // IP is down or its queue is full: the frame is dropped; the buffer
+    // itself belongs to IP's pool and will be recovered when IP reposts
+    // buffers.  Not silent any more: the drop is counted and surfaced
+    // through Node::publish_channel_stats.
+    ++rx_dropped_;
+  }
+}
+
 DriverServer::DriverServer(NodeEnv* env, sim::SimCore* core, drv::SimNic* nic,
                            int ifindex, std::string ip_name)
     : Server(env, driver_name(ifindex), core),
@@ -14,6 +30,9 @@ DriverServer::DriverServer(NodeEnv* env, sim::SimCore* core, drv::SimNic* nic,
 void DriverServer::start(bool restart) {
   expose_in_queue(ip_name_, 512);
   connect_out(ip_name_);
+  if (nic_->coalescing()) {
+    burst_pool_ = env().get_pool(name() + ".buf", 1u << 20);
+  }
   install_device_handlers();
   if (restart) {
     // A restarted driver cannot trust the device state it inherited
@@ -45,14 +64,49 @@ void DriverServer::install_device_handlers() {
     post_kernel_msg(
         [this, buf, len](sim::Context& ctx) {
           charge(ctx, sim().costs().drv_packet_proc);
+          ++rx_frames_;
+          forward_rx_frame(buf, len, ctx);
+        },
+        100);
+  });
+  nic_->set_rx_burst([this, inc](std::vector<drv::SimNic::RxCompletion>&&
+                                     burst) {
+    if (incarnation() != inc) return;
+    // ONE kernel message per coalesced interrupt: the trap, the receive and
+    // the mwait wakeup are amortized over the whole burst.  The per-frame
+    // descriptor work is still charged per frame.
+    post_kernel_msg(
+        [this, burst = std::move(burst)](sim::Context& ctx) {
+          charge(ctx, sim().costs().drv_packet_proc *
+                          static_cast<sim::Cycles>(burst.size()));
+          rx_frames_ += burst.size();
+          ++rx_bursts_;
+          std::vector<WireRxFrame> recs;
+          recs.reserve(burst.size());
+          for (const auto& c : burst) {
+            WireRxFrame rec;
+            rec.frame = c.buffer;
+            rec.frame.length = c.len;
+            recs.push_back(rec);
+          }
+          chan::RichPtr desc =
+              burst_pool_ != nullptr
+                  ? pack_records<WireRxFrame>(*burst_pool_, recs)
+                  : chan::RichPtr{};
+          if (!desc.valid()) {
+            // Descriptor pool exhausted: degrade to per-frame messages
+            // rather than dropping a whole burst.
+            for (const auto& c : burst) forward_rx_frame(c.buffer, c.len, ctx);
+            return;
+          }
           chan::Message m;
-          m.opcode = kDrvRx;
-          m.ptr = buf;
-          m.ptr.length = len;  // actual frame length within the buffer
+          m.opcode = kDrvRxBurst;
+          m.ptr = desc;
+          m.arg0 = recs.size();
+          ++rx_msgs_;
           if (!send_to(ip_name_, m, ctx)) {
-            // IP is down or its queue is full: the frame is dropped; the
-            // buffer itself belongs to IP's pool and will be recovered when
-            // IP reposts buffers.
+            rx_dropped_ += recs.size();
+            burst_pool_->release(desc);
           }
         },
         100);

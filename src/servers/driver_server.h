@@ -25,6 +25,14 @@ class DriverServer : public Server {
   drv::SimNic& nic() { return *nic_; }
   int ifindex() const { return ifindex_; }
 
+  // Receive-path accounting (the bench's msgs-per-frame datapoint and the
+  // Section IV-A drop policy made visible).
+  std::uint64_t rx_msgs() const { return rx_msgs_; }
+  std::uint64_t rx_frames() const { return rx_frames_; }
+  std::uint64_t rx_bursts() const { return rx_bursts_; }
+  // Frames dropped because IP's queue was full (or IP was down).
+  std::uint64_t rx_dropped() const { return rx_dropped_; }
+
  protected:
   void start(bool restart) override;
   void on_message(const std::string& from, const chan::Message& m,
@@ -36,10 +44,19 @@ class DriverServer : public Server {
  private:
   void install_device_handlers();
   void drain_backlog(sim::Context& ctx);
+  void forward_rx_frame(const chan::RichPtr& buf, std::uint32_t len,
+                        sim::Context& ctx);
 
   drv::SimNic* nic_;
   int ifindex_;
   std::string ip_name_;
+  // Staging pool for burst descriptors; created only when the device
+  // coalesces (the classic per-frame driver allocates nothing).
+  chan::Pool* burst_pool_ = nullptr;
+  std::uint64_t rx_msgs_ = 0;
+  std::uint64_t rx_frames_ = 0;
+  std::uint64_t rx_bursts_ = 0;
+  std::uint64_t rx_dropped_ = 0;
   // Frames waiting for TX ring slots.  The driver never blocks on a full
   // ring (Section IV-A); it buffers a bounded backlog and sheds beyond it.
   std::deque<std::pair<net::TxFrame, std::uint64_t>> tx_backlog_;

@@ -14,6 +14,25 @@ int IpServer::ifindex_of(const std::string& driver) {
   return std::atoi(driver.c_str() + 3);  // "drvN"
 }
 
+void IpServer::deliver_l4(char proto, net::L4Packet&& pkt) {
+  // The steering point of the sharded transport plane: one flow always
+  // hashes to the same replica, so replicas never share connections.
+  const std::string target =
+      proto == 'U' ? udp_shard_name(steer(pkt, cfg_.udp_shards))
+                   : tcp_shard_name(steer(pkt, cfg_.tcp_shards));
+  chan::Message m;
+  m.opcode = kL4Rx;
+  m.ptr = pkt.frame;
+  m.arg0 = (static_cast<std::uint64_t>(pkt.l4_offset) << 16) | pkt.l4_length;
+  m.arg1 = pack_addrs(pkt.src, pkt.dst);
+  if (!send_to(target, m, cur())) {
+    engine_->rx_done(pkt.frame);
+    return;
+  }
+  ++l4_msgs_;
+  ++l4_frames_;
+}
+
 int IpServer::steer(const net::L4Packet& pkt, int shards) {
   if (shards <= 1) return 0;
   // Both TCP and UDP start with source and destination port, big-endian.
@@ -67,29 +86,78 @@ void IpServer::build_engine() {
     };
   }
   e.deliver_tcp = [this](net::L4Packet&& pkt) {
-    // The steering point of the sharded transport plane: one flow always
-    // hashes to the same replica, so replicas never share connections.
-    const std::string target =
-        tcp_shard_name(steer(pkt, cfg_.tcp_shards));
-    chan::Message m;
-    m.opcode = kL4Rx;
-    m.ptr = pkt.frame;
-    m.arg0 = (static_cast<std::uint64_t>(pkt.l4_offset) << 16) |
-             pkt.l4_length;
-    m.arg1 = pack_addrs(pkt.src, pkt.dst);
-    if (!send_to(target, m, cur())) engine_->rx_done(pkt.frame);
+    deliver_l4('T', std::move(pkt));
   };
   e.deliver_udp = [this](net::L4Packet&& pkt) {
-    const std::string target =
-        udp_shard_name(steer(pkt, cfg_.udp_shards));
-    chan::Message m;
-    m.opcode = kL4Rx;
-    m.ptr = pkt.frame;
-    m.arg0 = (static_cast<std::uint64_t>(pkt.l4_offset) << 16) |
-             pkt.l4_length;
-    m.arg1 = pack_addrs(pkt.src, pkt.dst);
-    if (!send_to(target, m, cur())) engine_->rx_done(pkt.frame);
+    deliver_l4('U', std::move(pkt));
   };
+  if (cfg_.gro) {
+    e.deliver_tcp_agg = [this](net::L4AggPacket&& agg) {
+      sim::Context& ctx = cur();
+      charge(ctx, 150);  // descriptor packing, same as the TX-side charge
+      const int shard = net::steer_shard(agg.src, agg.dst, agg.sport,
+                                         agg.dport,
+                                         std::max(1, cfg_.tcp_shards));
+      std::vector<WireRxFrame> recs;
+      recs.reserve(agg.segs.size());
+      for (const auto& seg : agg.segs) {
+        WireRxFrame rec;
+        rec.frame = seg.frame;
+        rec.l4_offset = seg.l4_offset;
+        rec.l4_length = seg.l4_length;
+        recs.push_back(rec);
+      }
+      chan::RichPtr desc = pack_records<WireRxFrame>(*hdr_pool_, recs);
+      if (!desc.valid()) {
+        // Pool exhausted: degrade to the classic per-frame leg.
+        for (auto& seg : agg.segs) deliver_l4('T', std::move(seg));
+        return;
+      }
+      chan::Message m;
+      m.opcode = kL4RxAgg;
+      m.ptr = desc;
+      m.arg0 = recs.size();
+      m.arg1 = pack_addrs(agg.src, agg.dst);
+      if (!send_to(tcp_shard_name(shard), m, ctx)) {
+        hdr_pool_->release(desc);
+        for (auto& seg : agg.segs) engine_->rx_done(seg.frame);
+        return;
+      }
+      ++l4_msgs_;
+      l4_frames_ += recs.size();
+      // The frame references are now on loan to the replica: if it dies
+      // with the message still queued, reclaim() on its restart recovers
+      // them (the replica note_returns each frame as it unpacks).
+      for (const auto& seg : agg.segs) {
+        rx_pool_->note_borrow(seg.frame, transport_borrower('T', shard));
+      }
+    };
+  }
+  if (cfg_.gro && cfg_.use_pf) {
+    e.pf_check_batch =
+        [this](std::span<const std::pair<net::PfQuery, std::uint64_t>> qs) {
+          sim::Context& ctx = cur();
+          std::vector<WirePfQuery> recs;
+          recs.reserve(qs.size());
+          for (const auto& [q, cookie] : qs) {
+            recs.push_back(WirePfQuery{cookie, q});
+          }
+          chan::RichPtr desc = pack_records<WirePfQuery>(*hdr_pool_, recs);
+          if (desc.valid()) {
+            chan::Message m;
+            m.opcode = kPfCheckBatch;
+            m.ptr = desc;
+            m.arg0 = recs.size();
+            if (send_to(kPfName, m, ctx)) return;
+            hdr_pool_->release(desc);
+          }
+          // PF down or pool exhausted: per-query messages; unanswered
+          // queries are repeated on PF's restart (resubmit_pf_pending).
+          for (const auto& [q, cookie] : qs) {
+            send_to(kPfName, make_pf_check(cookie, q), ctx);
+          }
+        };
+  }
   e.seg_done = [this](std::uint64_t l4_cookie, bool sent) {
     auto it = l4_reqs_.find(l4_cookie);
     if (it == l4_reqs_.end()) return;
@@ -236,6 +304,41 @@ void IpServer::on_message(const std::string& from, const chan::Message& m,
       post_rx_buffers(ifindex, ctx);  // keep the device fed
       return;
     }
+    case kDrvRxBurst: {
+      // One dequeue for the whole coalesced burst; the per-frame protocol
+      // work is still charged per frame.
+      const int ifindex = ifindex_of(from);
+      const auto recs = parse_records<WireRxFrame>(env().pools->read(m.ptr));
+      auto it = posted_.find(ifindex);
+      std::vector<chan::RichPtr> frames;
+      frames.reserve(recs.size());
+      for (const auto& rec : recs) {
+        charge(ctx, costs.ip_packet_proc);
+        if (!cfg_.csum_offload) {
+          charge(ctx, costs.checksum_cost(rec.frame.length));
+        }
+        if (it != posted_.end() && it->second > 0) --it->second;
+        frames.push_back(rec.frame);
+      }
+      env().pools->release(m.ptr);  // burst descriptor back to the driver
+      if (cfg_.gro) {
+        engine_->input_burst(ifindex, frames);
+      } else {
+        for (const auto& f : frames) engine_->input(ifindex, f);
+      }
+      post_rx_buffers(ifindex, ctx);
+      return;
+    }
+    case kPfVerdictBatch: {
+      const auto recs =
+          parse_records<WirePfVerdict>(env().pools->read(m.ptr));
+      for (const auto& rec : recs) {
+        charge(ctx, 120);
+        engine_->pf_verdict(rec.cookie, rec.allow != 0);
+      }
+      env().pools->release(m.ptr);  // verdict array back to PF's pool
+      return;
+    }
     case kDrvLink:
       if (m.arg0 != 0) {
         posted_[ifindex_of(from)] = 0;  // device was reset: rings are empty
@@ -304,6 +407,23 @@ void IpServer::on_peer_up(const std::string& peer, bool restarted,
   if (peer == kStoreName && restarted && engine_) {
     // Storage came back empty: every server must store its state again.
     store_config(ctx);
+    return;
+  }
+}
+
+void IpServer::on_peer_down(const std::string& peer, sim::Context& ctx) {
+  (void)ctx;
+  for (int s = 0; s < std::max(1, cfg_.tcp_shards); ++s) {
+    if (peer != tcp_shard_name(s)) continue;
+    if (rx_pool_ != nullptr) {
+      // The replica died and its queues were reset: frames an in-flight
+      // kL4RxAgg still referenced would strand without this.  Frames the
+      // replica had already unpacked were note_returned (and its rcvq was
+      // drained by its own teardown path), so only the dead messages'
+      // loans are on the ledger.  This runs before the restarted
+      // incarnation can receive anything, so no live loan is touched.
+      rx_pool_->reclaim(transport_borrower('T', s));
+    }
     return;
   }
 }

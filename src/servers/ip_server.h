@@ -29,11 +29,21 @@ class IpServer : public Server {
     // are steered across (by 4-tuple hash).  1 = the classic single pair.
     int tcp_shards = 1;
     int udp_shards = 1;
+    // Receive-side aggregation at the IP -> TCP boundary: merge in-order
+    // same-flow TCP segments of a coalesced RX burst into one kL4RxAgg
+    // super-segment.  Off by default; meaningful only when the NIC
+    // coalesces (kDrvRxBurst is the only producer of bursts).
+    bool gro = false;
   };
 
   IpServer(NodeEnv* env, sim::SimCore* core, Config cfg);
 
   net::IpEngine* engine() { return engine_.get(); }
+
+  // Receive-path accounting for the bench's msgs-per-frame datapoint:
+  // channel messages sent up to the transports vs frames they carried.
+  std::uint64_t l4_msgs() const { return l4_msgs_; }
+  std::uint64_t l4_frames() const { return l4_frames_; }
 
  protected:
   void start(bool restart) override;
@@ -41,6 +51,7 @@ class IpServer : public Server {
                   sim::Context& ctx) override;
   void on_peer_up(const std::string& peer, bool restarted,
                   sim::Context& ctx) override;
+  void on_peer_down(const std::string& peer, sim::Context& ctx) override;
   void on_killed() override;
 
  private:
@@ -51,6 +62,8 @@ class IpServer : public Server {
   // The transport replica an inbound packet is steered to: a 4-tuple hash
   // over (src, dst) and the transport ports read out of the frame.
   int steer(const net::L4Packet& pkt, int shards);
+  // Sends one frame up to its transport replica (the kL4Rx leg).
+  void deliver_l4(char proto, net::L4Packet&& pkt);
 
   Config cfg_;
   std::unique_ptr<net::IpEngine> engine_;
@@ -67,6 +80,8 @@ class IpServer : public Server {
   std::unordered_map<std::uint64_t, chan::RichPtr> drv_descs_;
   std::map<int, int> posted_;  // rx buffers outstanding per ifindex
   std::uint64_t store_get_req_ = 0;
+  std::uint64_t l4_msgs_ = 0;
+  std::uint64_t l4_frames_ = 0;
 };
 
 }  // namespace newtos::servers

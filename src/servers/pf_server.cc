@@ -84,6 +84,43 @@ void PfServer::on_message(const std::string& from, const chan::Message& m,
       send_to(kIpName, r, ctx);
       return;
     }
+    case kPfCheckBatch: {
+      // Every query of one RX burst in one message, and every verdict in
+      // one reply: the rule/state walk is still charged per query, the IPC
+      // is paid once per burst on both legs.
+      const auto recs = parse_records<WirePfQuery>(env().pools->read(m.ptr));
+      env().pools->release(m.ptr);  // IP's query array, consumed
+      std::vector<WirePfVerdict> verdicts;
+      verdicts.reserve(recs.size());
+      for (const auto& rec : recs) {
+        const auto verdict = engine_->check(rec.query);
+        charge(ctx, sim().costs().pf_packet_proc +
+                        verdict.rules_walked * sim().costs().pf_rule_cost);
+        verdicts.push_back(WirePfVerdict{
+            rec.cookie, verdict.action == net::PfAction::Pass ? 1u : 0u, 0});
+      }
+      if (verdicts.empty()) return;
+      chan::RichPtr desc =
+          pack_records<WirePfVerdict>(*pool_, verdicts);
+      if (desc.valid()) {
+        chan::Message r;
+        r.opcode = kPfVerdictBatch;
+        r.ptr = desc;
+        r.arg0 = verdicts.size();
+        if (send_to(kIpName, r, ctx)) return;
+        pool_->release(desc);
+      }
+      // Pool exhausted or IP unreachable: per-verdict replies (IP applies
+      // them one by one; unanswered queries are resubmitted on restarts).
+      for (const auto& v : verdicts) {
+        chan::Message r;
+        r.opcode = kPfVerdict;
+        r.req_id = v.cookie;
+        r.arg0 = v.allow;
+        send_to(kIpName, r, ctx);
+      }
+      return;
+    }
     case kConnListReply: {
       request_db().complete(m.req_id);
       if (m.ptr.valid()) {

@@ -40,11 +40,20 @@ enum Opcode : std::uint16_t {
   // --- IP -> transport ---------------------------------------------------------
   kL4Rx = 20,     // ptr=frame; arg0=l4_offset<<16|l4_length; arg1=src<<32|dst
   kL4RxDone,      // ptr=frame (release into IP's receive pool)
+  kL4RxAgg,       // ptr=packed WireRxFrame array (one GRO super-segment:
+                  // consecutive in-order same-4-tuple TCP segments);
+                  // arg0=frame count; arg1=src<<32|dst.  The transport
+                  // charges its per-segment cost once for the aggregate and
+                  // answers with one kL4RxDone per member frame as it
+                  // consumes them.
 
   // --- IP <-> PF -----------------------------------------------------------------
   kPfCheck = 30,  // req_id=cookie; arg0=src<<32|dst; arg1=sport<<32|dport;
                   // arg2=dir<<16|proto<<8|tcp_flags
   kPfVerdict,     // req_id=cookie; arg0=allow(0/1)
+  kPfCheckBatch,  // ptr=packed WirePfQuery array; arg0=count.  All verdicts
+                  // of one RX burst travel as one message pair.
+  kPfVerdictBatch,  // ptr=packed WirePfVerdict array; arg0=count
 
   // --- IP <-> drivers -------------------------------------------------------------
   kDrvTx = 40,    // ptr=packed chain; req_id=cookie
@@ -52,6 +61,10 @@ enum Opcode : std::uint16_t {
   kDrvRx,         // ptr=received frame (length = frame length)
   kDrvRxBuf,      // ptr=fresh receive buffer for the device
   kDrvLink,       // arg0=up(0/1)
+  kDrvRxBurst,    // ptr=packed WireRxFrame array (one coalesced interrupt);
+                  // arg0=frame count.  IP dequeues once per burst; the
+                  // per-frame protocol costs still apply, the per-frame IPC
+                  // costs do not.
 
   // --- socket control (apps / SYSCALL -> transports) --------------------------------
   kSockOpen = 60,   // arg0=reply tag
@@ -135,6 +148,69 @@ inline net::PfQuery parse_pf_check(const chan::Message& m) {
   q.protocol = static_cast<std::uint8_t>((m.arg2 >> 8) & 0xff);
   q.tcp_flags = static_cast<std::uint8_t>(m.arg2 & 0xff);
   return q;
+}
+
+// --- receive-side batching (kDrvRxBurst / kL4RxAgg / kPfCheckBatch) ----------------
+//
+// The RX symmetric half of TSO: the NIC coalesces receive interrupts into
+// bursts, the burst crosses each channel as ONE message referencing a packed
+// array of per-frame records, and IP merges in-order same-flow TCP segments
+// of a burst into one aggregate for the transport.  Record arrays are packed
+// into a chunk of the sender's staging pool; the consumer releases the
+// descriptor chunk through the pool registry once it has unpacked it (the
+// modelled done-report of a ring slot).
+
+struct WireRxFrame {
+  chan::RichPtr frame;          // whole frame chunk; length = frame bytes
+  std::uint16_t l4_offset = 0;  // filled on the IP -> transport leg
+  std::uint16_t l4_length = 0;
+  std::uint32_t pad = 0;
+};
+static_assert(std::is_trivially_copyable_v<WireRxFrame>);
+
+struct WirePfQuery {
+  std::uint64_t cookie = 0;
+  net::PfQuery query;
+};
+static_assert(std::is_trivially_copyable_v<WirePfQuery>);
+
+struct WirePfVerdict {
+  std::uint64_t cookie = 0;
+  std::uint32_t allow = 0;
+  std::uint32_t pad = 0;
+};
+static_assert(std::is_trivially_copyable_v<WirePfVerdict>);
+
+// Packs a trivially-copyable record array into a chunk of `pool`; null on
+// pool exhaustion (drop/defer, never block).
+template <typename Rec>
+inline chan::RichPtr pack_records(chan::Pool& pool, std::span<const Rec> recs) {
+  const std::uint32_t bytes =
+      static_cast<std::uint32_t>(recs.size() * sizeof(Rec));
+  chan::RichPtr chunk = pool.alloc(bytes);
+  if (!chunk.valid()) return chunk;
+  auto view = pool.write_view(chunk);
+  std::memcpy(view.data(), recs.data(), bytes);
+  return chunk;
+}
+
+template <typename Rec>
+inline std::vector<Rec> parse_records(std::span<const std::byte> bytes) {
+  std::vector<Rec> recs(bytes.size() / sizeof(Rec));
+  std::memcpy(recs.data(), bytes.data(), recs.size() * sizeof(Rec));
+  return recs;
+}
+
+// Loan-ledger borrower id of a transport replica.  Frames referenced by an
+// in-flight kL4RxAgg message are on loan from IP's receive pool to the
+// target replica; if the replica dies with the message still queued, IP
+// reclaims the loans on its restart (the rcvq frames the replica had
+// already accepted are released by its own teardown path instead).  The
+// high bit keeps these ids clear of the application borrower ids the node
+// hands out sequentially.
+inline constexpr std::uint32_t transport_borrower(char proto, int shard) {
+  return 0x80000000u | (proto == 'U' ? 0x100u : 0u) |
+         static_cast<std::uint32_t>(shard);
 }
 
 // --- batched socket submissions (kSockBatch) ---------------------------------------

@@ -242,7 +242,10 @@ void Server::pump(sim::Context& ctx) {
       } else {
         charge(ctx, costs.channel_dequeue + costs.cache_line_pull);
       }
-      const std::string from = in_queues_[i].from;
+      // By reference: in_queues_ only mutates in start() (boot-time) and
+      // kill() (never self-invoked from a handler), so the name outlives
+      // the on_message call — no per-message heap churn.
+      const std::string& from = in_queues_[i].from;
       if (g_trace)
         std::fprintf(stderr, "[%.6f]   msg %s->%s op=%u\n", sim().now() / 1e9,
                      from.c_str(), name_.c_str(), m.opcode);

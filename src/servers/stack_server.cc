@@ -414,6 +414,26 @@ void StackServer::on_message(const std::string& from, const chan::Message& m,
       post_rx_buffers(ifindex, ctx);
       return;
     }
+    case kDrvRxBurst: {
+      // A coalesced burst from a channel-attached driver.  The combined
+      // stack has no further hop to aggregate for, so each frame takes the
+      // classic in-process path; the burst still amortized the driver's
+      // kernel message and this server's wakeup.
+      const int ifindex = ifindex_of(from);
+      const auto recs = parse_records<WireRxFrame>(env().pools->read(m.ptr));
+      env().pools->release(m.ptr);
+      auto it = posted_.find(ifindex);
+      for (const auto& rec : recs) {
+        charge(ctx, costs.ip_packet_proc + env().knobs.legacy_per_packet);
+        if (!cfg_.csum_offload) {
+          charge(ctx, costs.checksum_cost(rec.frame.length));
+        }
+        if (it != posted_.end() && it->second > 0) --it->second;
+        if (ip_) ip_->input(ifindex, rec.frame);
+      }
+      post_rx_buffers(ifindex, ctx);
+      return;
+    }
     case kDrvLink:
       if (m.arg0 != 0) {
         posted_[ifindex_of(from)] = 0;

@@ -222,6 +222,35 @@ void TcpServer::on_message(const std::string& from, const chan::Message& m,
       engine_->input(std::move(pkt));
       return;
     }
+    case kL4RxAgg: {
+      // A GRO super-segment: the connection machinery is charged ONCE for
+      // the whole aggregate — the receive-side mirror of TSO's per-
+      // superframe charge on line 47.
+      charge(ctx, sim().costs().tcp_segment_proc);
+      const auto recs = parse_records<WireRxFrame>(env().pools->read(m.ptr));
+      std::vector<net::L4Packet> segs;
+      segs.reserve(recs.size());
+      for (const auto& rec : recs) {
+        // The frame reference left IP's custody when the message was sent;
+        // it is back in ours now — return the loan before processing, so a
+        // crash from here on is covered by the engine teardown path, not
+        // the ledger.
+        chan::Pool* p = env().pools->find(rec.frame.pool);
+        if (p != nullptr) {
+          p->note_return(rec.frame, transport_borrower('T', shard_));
+        }
+        net::L4Packet pkt;
+        pkt.frame = rec.frame;
+        pkt.l4_offset = rec.l4_offset;
+        pkt.l4_length = rec.l4_length;
+        pkt.src = unpack_hi(m.arg1);
+        pkt.dst = unpack_lo(m.arg1);
+        segs.push_back(pkt);
+      }
+      env().pools->release(m.ptr);  // descriptor chunk back to IP's pool
+      engine_->input_agg(std::move(segs));
+      return;
+    }
     case kIpTxDone: {
       charge(ctx, sim().costs().request_db_op);
       auto it = tx_descs_.find(m.req_id);
