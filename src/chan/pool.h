@@ -92,6 +92,15 @@ class Pool {
   std::size_t reclaim(std::uint32_t borrower);
   // Outstanding loans (all borrowers) — the Testbed teardown leak check.
   std::size_t borrows_outstanding() const { return borrows_outstanding_; }
+  // Every borrower with loans on record.  The teardown sweep uses this to
+  // find well-known borrower-id classes (connection-checkpoint loans) that
+  // are legitimately outstanding when a run stops mid-flight.
+  std::vector<std::uint32_t> borrowers() const {
+    std::vector<std::uint32_t> out;
+    out.reserve(ledger_.size());
+    for (const auto& [b, loans] : ledger_) out.push_back(b);
+    return out;
+  }
 
   // Crash support: drops every chunk and bumps the generation, so all
   // outstanding rich pointers into this pool become stale.

@@ -61,6 +61,19 @@ struct NodeConfig {
   int rx_coalesce_frames = 0;
   std::uint32_t rx_coalesce_usecs = 50;
   bool gro = false;
+  // Transparent TCP recovery (split arrangements only).  Default off: the
+  // Table I trade-off stands and every Table II row is byte-identical.
+  // With it on, established connections journal per-connection TCB
+  // checkpoints (pool-resident pages + a compact storage-server record per
+  // connection, refreshed every tcp_ckpt_watermark bytes) and survive a
+  // TCP server crash with only a throughput dip.
+  bool tcp_checkpoint = false;
+  std::uint32_t tcp_ckpt_watermark = 256 * 1024;
+  // End-to-end work probes from the reincarnation server (synthetic echo
+  // rs -> tcpN -> ip -> pf and back) so a silently wedged transport — the
+  // one fault class heartbeats cannot see — is restarted automatically.
+  // Default off: the paper's manual-restart behaviour stands.
+  bool work_probes = false;
   // Addressing: NIC i sits on 10.(subnet_base+i).0.0/24; this host takes
   // .1 when `left`, .2 otherwise.
   std::uint8_t subnet_base = 1;

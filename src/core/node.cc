@@ -45,6 +45,7 @@ Node::Node(sim::Simulator& sim, NodeConfig cfg)
   env_.knobs.tso = cfg_.tso;
   env_.knobs.csum_offload = cfg_.csum_offload;
   env_.knobs.cost_scale = cfg_.cost_scale;
+  env_.knobs.work_probes = cfg_.work_probes;
   env_.knobs.legacy_per_packet =
       cfg_.mode == StackMode::kMinixSync ? sim.costs().minix_stack_per_packet : 0;
   env_.knobs.app_write_size = cfg_.app_write_size;
@@ -250,6 +251,10 @@ void Node::build() {
 
     net::TcpOptions topts = cfg_.tcp;
     topts.tso = cfg_.tso;
+    // Transparent TCP recovery is a split-stack feature: a combined stack
+    // dies as one unit and takes its own storage/pool context with it.
+    topts.checkpoint = cfg_.tcp_checkpoint;
+    topts.ckpt_watermark = cfg_.tcp_ckpt_watermark;
     for (int s = 0; s < tcp_shards; ++s) {
       const std::string name = servers::tcp_shard_name(s);
       auto tcp = std::make_unique<servers::TcpServer>(
@@ -291,6 +296,15 @@ void Node::build() {
 
   for (auto& [name, srv] : servers_) {
     if (srv.get() != rs_) rs_->manage(srv.get());
+  }
+
+  // End-to-end work probes target the transport replicas (the component the
+  // paper had to restart manually when it wedged silently).
+  if (cfg_.work_probes && !cfg_.combined_stack()) {
+    std::vector<std::string> targets;
+    for (int s = 0; s < tcp_shards; ++s)
+      targets.push_back(servers::tcp_shard_name(s));
+    rs_->set_probe_targets(std::move(targets));
   }
 }
 
@@ -334,6 +348,19 @@ std::uint64_t Node::publish_channel_stats() {
     rx_dropped += drv->rx_dropped();
   }
   stats_.set("drv.rx_dropped", rx_dropped);
+  // Connection-checkpoint overhead (0 with tcp_checkpoint off): journal
+  // puts to the storage server and the bytes they carried.
+  std::uint64_t ckpt_puts = 0;
+  std::uint64_t ckpt_bytes = 0;
+  for (const auto* tcp : tcp_shards_) {
+    if (tcp->ckpt_puts() > 0) {
+      stats_.set(tcp->name() + ".ckpt_puts", tcp->ckpt_puts());
+    }
+    ckpt_puts += tcp->ckpt_puts();
+    ckpt_bytes += tcp->ckpt_bytes();
+  }
+  stats_.set("tcp.ckpt_puts", ckpt_puts);
+  stats_.set("tcp.ckpt_bytes", ckpt_bytes);
   return total;
 }
 

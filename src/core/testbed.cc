@@ -22,6 +22,15 @@ void check_loan_leaks(Node& node) {
       pool->reclaim(servers::transport_borrower('T', s));
       pool->reclaim(servers::transport_borrower('U', s));
     }
+    // Connection-checkpoint loans are the same story: a run that stops with
+    // live checkpointed connections (or a parked crash that never restored)
+    // legitimately has queue chunks and pages on the ledger.  Reclaiming a
+    // loan whose reference an engine destructor will also drop is safe:
+    // the later release finds the chunk already freed and no-ops (nothing
+    // allocates between here and node teardown).
+    for (std::uint32_t b : pool->borrowers()) {
+      if (servers::is_ckpt_borrower(b)) pool->reclaim(b);
+    }
   }
   for (chan::Pool* pool : node.pools().all()) {
     const std::size_t loans = pool->borrows_outstanding();
@@ -54,6 +63,9 @@ Testbed::Testbed(const TestbedOptions& opts) {
   left.rx_coalesce_frames = opts.rx_coalesce_frames;
   left.rx_coalesce_usecs = opts.rx_coalesce_usecs;
   left.gro = opts.gro;
+  left.tcp_checkpoint = opts.tcp_checkpoint;
+  left.tcp_ckpt_watermark = opts.tcp_ckpt_watermark;
+  left.work_probes = opts.work_probes;
   left.left = true;
 
   NodeConfig right;

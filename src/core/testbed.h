@@ -32,6 +32,12 @@ struct TestbedOptions {
   int rx_coalesce_frames = 0;
   std::uint32_t rx_coalesce_usecs = 50;
   bool gro = false;
+  // Transparent TCP recovery on the system under test (default off: the
+  // Table I trade-off — established connections die with the TCP server).
+  bool tcp_checkpoint = false;
+  std::uint32_t tcp_ckpt_watermark = 256 * 1024;
+  // Reincarnation-server work probes (silent-wedge auto-detection).
+  bool work_probes = false;
   sim::Time wire_latency = 20 * sim::kMicrosecond;
   std::uint64_t seed = 42;
 };

@@ -96,6 +96,65 @@ std::uint16_t TcpEngine::ephemeral_port(Ipv4Addr local, Ipv4Addr peer,
 
 std::uint32_t TcpEngine::next_isn() { return isn_ += 0x10001; }
 
+// --- checkpoint plumbing ------------------------------------------------------------
+
+TcpCheckpointSink::Scalars TcpEngine::ckpt_scalars_of(const Conn& c) const {
+  TcpCheckpointSink::Scalars s;
+  s.state = c.state;
+  s.snd_una = c.snd_una;
+  s.snd_wnd = c.snd_wnd;
+  s.rcv_nxt = c.rcv_nxt;
+  s.peer_fin = c.peer_fin;
+  s.fin_queued = c.fin_queued;
+  return s;
+}
+
+void TcpEngine::ckpt_touch(Conn& c) {
+  if (ckpt_on(c)) env_.ckpt->ckpt_scalars(c.sock, ckpt_scalars_of(c));
+}
+
+void TcpEngine::ckpt_establish(Conn& c, bool accept_pending) {
+  if (!opts_.checkpoint || env_.ckpt == nullptr) return;
+  TcpCheckpointSink::ConnMeta meta;
+  meta.sock = c.sock;
+  meta.local = c.local;
+  meta.lport = c.lport;
+  meta.peer = c.peer;
+  meta.pport = c.pport;
+  meta.parent_listener = c.parent_listener;
+  meta.accept_pending = accept_pending;
+  c.ckpt = env_.ckpt->ckpt_established(meta, ckpt_scalars_of(c));
+}
+
+void TcpEngine::drop_checkpoint(SockId s) {
+  Conn* c = conn_for(s);
+  if (c != nullptr) c->ckpt = false;
+}
+
+void TcpEngine::park_checkpointed() {
+  // The process is dying.  Checkpointed connections leave their chunk
+  // references to the loan ledger and the checkpoint pages (which is where
+  // restore_conn() re-adopts them) — dropping the queues here without a
+  // release is the ownership hand-off, not a leak.  Everything else (the
+  // embryos, listeners, un-checkpointed connections, in-flight headers)
+  // tears down exactly as before.
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Conn& c = it->second;
+    if (!ckpt_on(c)) {
+      ++it;
+      continue;
+    }
+    if (c.rto_timer) env_.timers->cancel(c.rto_timer);
+    if (c.ack_timer) env_.timers->cancel(c.ack_timer);
+    if (c.timewait_timer) env_.timers->cancel(c.timewait_timer);
+    c.sndq.clear();
+    c.rcvq.clear();
+    by_tuple_.erase(ConnKey{c.peer.value, c.pport, c.lport});
+    it = conns_.erase(it);
+  }
+  env_.ckpt = nullptr;  // the sink object dies with the host incarnation
+}
+
 // --- socket API -------------------------------------------------------------------
 
 SockId TcpEngine::open() {
@@ -134,6 +193,8 @@ std::optional<SockId> TcpEngine::accept(SockId s) {
     return std::nullopt;
   const SockId child = it->second.acceptq.front();
   it->second.acceptq.pop_front();
+  Conn* c = conn_for(child);
+  if (c != nullptr && ckpt_on(*c)) env_.ckpt->ckpt_accepted(child);
   return child;
 }
 
@@ -207,6 +268,10 @@ bool TcpEngine::send(SockId s, chan::RichPtr payload) {
   c->snd_buf_end += payload.length;
   c->sndq_bytes += payload.length;
   c->sndq.push_back(sc);
+  if (ckpt_on(*c)) {
+    env_.ckpt->ckpt_sndq_push(c->sock, sc.chunk, sc.seq);
+    ckpt_touch(*c);
+  }
   tcp_output(*c);
   return true;
 }
@@ -250,6 +315,10 @@ std::size_t TcpEngine::consume(SockId s, std::size_t n) {
       env_.rx_done(rc.frame);
       c->rcvq.pop_front();
     }
+  }
+  if (done > 0 && ckpt_on(*c)) {
+    env_.ckpt->ckpt_rcvq_consume(c->sock, done);
+    ckpt_touch(*c);
   }
   // Window update: if the window was effectively closed and just reopened,
   // tell the peer (we have no persist timer; see DESIGN.md).
@@ -314,11 +383,13 @@ bool TcpEngine::close(SockId s) {
     case TcpState::Established:
       c->fin_queued = true;
       c->state = TcpState::FinWait1;
+      ckpt_touch(*c);
       tcp_output(*c);
       return true;
     case TcpState::CloseWait:
       c->fin_queued = true;
       c->state = TcpState::LastAck;
+      ckpt_touch(*c);
       tcp_output(*c);
       return true;
     default:
@@ -700,6 +771,7 @@ void TcpEngine::process_ack(Conn& c, const TcpHeader& h) {
       const SendChunk& front = c.sndq.front();
       if (!seq_leq(front.seq + front.chunk.length, ack)) break;
       c.sndq_bytes -= front.chunk.length;
+      if (ckpt_on(c)) env_.ckpt->ckpt_sndq_pop(c.sock, front.chunk);
       release_payload(front.chunk);
       c.sndq.pop_front();
     }
@@ -743,6 +815,7 @@ void TcpEngine::process_ack(Conn& c, const TcpHeader& h) {
       tcp_output(c);
     }
   }
+  ckpt_touch(c);
 }
 
 // --- input -------------------------------------------------------------------------
@@ -841,6 +914,7 @@ void TcpEngine::input(L4Packet&& pkt) {
         c->rto = opts_.rto_initial;
         cancel_rto(*c);
         ++stats_.conns_established;
+        ckpt_establish(*c, /*accept_pending=*/false);
         send_ack(*c);
         notify(c->sock, TcpEvent::Connected);
         tcp_output(*c);
@@ -864,6 +938,7 @@ void TcpEngine::input(L4Packet&& pkt) {
         c->rto = opts_.rto_initial;
         cancel_rto(*c);
         ++stats_.conns_established;
+        ckpt_establish(*c, /*accept_pending=*/true);
         Listener* l = nullptr;
         auto lit = listeners_.find(c->parent_listener);
         if (lit != listeners_.end()) l = &lit->second;
@@ -891,6 +966,7 @@ void TcpEngine::input(L4Packet&& pkt) {
     if (fin_acked) {
       if (c->state == TcpState::FinWait1) {
         c->state = TcpState::FinWait2;
+        ckpt_touch(*c);
       } else if (c->state == TcpState::Closing) {
         enter_time_wait(*c);
       } else if (c->state == TcpState::LastAck) {
@@ -935,6 +1011,7 @@ void TcpEngine::input(L4Packet&& pkt) {
       default:
         break;
     }
+    if (c->state != TcpState::TimeWait) ckpt_touch(*c);
   }
 
   if (!frame_retained) env_.rx_done(pkt.frame);
@@ -1028,6 +1105,13 @@ void TcpEngine::input_agg(std::vector<L4Packet>&& segs) {
   c->rcvq_bytes += total;
   c->rcv_nxt += total;
   stats_.bytes_in += total;
+  if (ckpt_on(*c)) {
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+      env_.ckpt->ckpt_rcvq_push(c->sock, segs[i].frame, parsed[i].data_off,
+                                parsed[i].data_len);
+    }
+    ckpt_touch(*c);
+  }
 
   // One stretch ACK covers the whole aggregate — the receive-side mirror of
   // TSO's one-header-per-superframe.
@@ -1076,6 +1160,10 @@ void TcpEngine::accept_data(Conn& c, const L4Packet& pkt, const TcpHeader& h,
   c.rcvq_bytes += len;
   c.rcv_nxt += len;
   stats_.bytes_in += len;
+  if (ckpt_on(c)) {
+    env_.ckpt->ckpt_rcvq_push(c.sock, rc.frame, rc.offset, rc.len);
+    ckpt_touch(c);
+  }
   schedule_ack(c);
   if (was_empty) notify(c.sock, TcpEvent::Readable);
 }
@@ -1084,6 +1172,13 @@ void TcpEngine::accept_data(Conn& c, const L4Packet& pkt, const TcpHeader& h,
 
 void TcpEngine::enter_time_wait(Conn& c) {
   c.state = TcpState::TimeWait;
+  if (ckpt_on(c)) {
+    // TIME_WAIT has nothing left to recover: drop the checkpoint now (the
+    // writer returns every ledger loan; the engine keeps the references and
+    // releases them when the timer fires, as it always did).
+    env_.ckpt->ckpt_destroyed(c.sock);
+    c.ckpt = false;
+  }
   cancel_rto(c);
   const SockId sock = c.sock;
   if (c.timewait_timer) env_.timers->cancel(c.timewait_timer);
@@ -1095,6 +1190,13 @@ void TcpEngine::destroy_conn(SockId s, bool notify_reset) {
   auto it = conns_.find(s);
   if (it == conns_.end()) return;
   Conn& c = it->second;
+  if (ckpt_on(c)) {
+    // The writer returns every ledger loan and drops the page/journal
+    // record; the engine then releases its queue references below, exactly
+    // like an un-checkpointed teardown.
+    env_.ckpt->ckpt_destroyed(s);
+    c.ckpt = false;
+  }
   if (c.rto_timer) env_.timers->cancel(c.rto_timer);
   if (c.ack_timer) env_.timers->cancel(c.ack_timer);
   if (c.timewait_timer) env_.timers->cancel(c.timewait_timer);
@@ -1189,6 +1291,111 @@ std::optional<std::vector<TcpEngine::ListenRec>> TcpEngine::parse_listeners(
     out.push_back(rec);
   }
   return out;
+}
+
+bool TcpEngine::restore_conn(const RestoredConn& rec) {
+  if (rec.sock == 0 || conns_.count(rec.sock) != 0) return false;
+  switch (rec.state) {
+    case TcpState::Established:
+    case TcpState::CloseWait:
+    case TcpState::FinWait1:
+    case TcpState::FinWait2:
+    case TcpState::Closing:
+    case TcpState::LastAck:
+      break;
+    default:
+      return false;  // handshake/TIME_WAIT states are not checkpointed
+  }
+  if (by_tuple_.count(ConnKey{rec.peer.value, rec.pport, rec.lport}) != 0)
+    return false;
+
+  Conn c;
+  c.sock = rec.sock;
+  c.state = rec.state;
+  c.local = rec.local;
+  c.lport = rec.lport;
+  c.peer = rec.peer;
+  c.pport = rec.pport;
+  c.iss = rec.snd_una;
+  c.snd_una = rec.snd_una;
+  c.snd_nxt = rec.snd_una;  // go-back-N: resync retransmits from here
+  c.snd_wnd = std::max<std::uint32_t>(rec.snd_wnd, opts_.mss);
+  c.cwnd = opts_.initial_cwnd_segs * opts_.mss;  // congestion state restarts
+  c.ssthresh = 0x7fffffff;
+  c.rto = opts_.rto_initial;
+  c.fin_queued = rec.fin_queued;
+  c.peer_fin = rec.peer_fin;
+  c.irs = rec.rcv_nxt;
+  c.rcv_nxt = rec.rcv_nxt;
+  c.parent_listener = rec.parent_listener;
+  c.ckpt = env_.ckpt != nullptr;
+
+  std::uint32_t end = rec.snd_una;
+  for (const auto& sc : rec.sndq) {
+    c.sndq.push_back(SendChunk{sc.seq, sc.chunk});
+    c.sndq_bytes += sc.chunk.length;
+    end = sc.seq + sc.chunk.length;
+  }
+  c.snd_buf_end = end;  // a queued FIN sits right after the stream
+  // Everything up to the old snd_nxt may have been on the wire; accepting
+  // ACKs anywhere below the buffered end (+FIN) is always sound because the
+  // peer can only ack bytes we actually sent.
+  c.high_water = end + (c.fin_queued ? 1u : 0u);
+  for (const auto& rc : rec.rcvq) {
+    RecvChunk r;
+    r.frame = rc.frame;
+    r.offset = rc.offset;
+    r.len = rc.len;
+    r.consumed = rc.consumed;
+    c.rcvq.push_back(r);
+    c.rcvq_bytes += static_cast<std::uint32_t>(rc.len - rc.consumed);
+  }
+
+  conns_.emplace(rec.sock, std::move(c));
+  by_tuple_[ConnKey{rec.peer.value, rec.pport, rec.lport}] = rec.sock;
+  if (own_sock(rec.sock)) next_sock_ = std::max(next_sock_, rec.sock + 1);
+  if (rec.accept_pending) {
+    auto lit = listeners_.find(rec.parent_listener);
+    if (lit != listeners_.end()) lit->second.acceptq.push_back(rec.sock);
+  }
+  ++stats_.conns_restored;
+  pending_resync_.push_back(rec.sock);
+  return true;
+}
+
+void TcpEngine::resync_restored() {
+  auto socks = std::move(pending_resync_);
+  pending_resync_.clear();
+  for (SockId s : socks) {
+    Conn* c = conn_for(s);
+    if (c == nullptr) continue;
+    // Announce our exact rcv_nxt and window.  The peer ignores the ack
+    // number if it is old news; if the peer was blocked on a closed window
+    // or waiting out an RTO, this unblocks it.
+    send_ack(*c);
+    // Retransmission from the last acked watermark (Section V-D spirit:
+    // prefer duplicates over stalls).  Anything the peer already has is
+    // trimmed as duplicate on its side.
+    const std::uint32_t fin_extra = c->fin_queued ? 1u : 0u;
+    if (seq_lt(c->snd_una, c->snd_buf_end + fin_extra)) {
+      tcp_output(*c);
+      if (c->rto_timer == 0) arm_rto(*c);
+    }
+    // Replay the readiness events the application would otherwise never see
+    // again: a child still waiting to be accepted, queued received data,
+    // and the (possibly spurious, always safe) write-space notification.
+    if (c->parent_listener != 0) {
+      auto lit = listeners_.find(c->parent_listener);
+      if (lit != listeners_.end() &&
+          std::find(lit->second.acceptq.begin(), lit->second.acceptq.end(),
+                    s) != lit->second.acceptq.end()) {
+        notify(lit->second.sock, TcpEvent::AcceptReady);
+        continue;  // not yet owned by an app socket: no per-socket events
+      }
+    }
+    if (c->rcvq_bytes > 0) notify(s, TcpEvent::Readable);
+    notify(s, TcpEvent::Writable);
+  }
 }
 
 std::string TcpEngine::debug(SockId s) const {

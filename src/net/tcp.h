@@ -80,6 +80,67 @@ struct TcpOptions {
   sim::Time delayed_ack = 40 * sim::kMillisecond;
   sim::Time time_wait = 1 * sim::kSecond;
   int syn_retries = 5;
+  // Connection checkpointing (the Table I limitation, removed): established
+  // connections journal their TCB through the host server's checkpoint sink
+  // and survive a TCP server crash.  Off by default: the classic behaviour
+  // (established connections die with the server) is byte-for-byte intact.
+  bool checkpoint = false;
+  // Storage-journal refresh watermark: a connection's record is re-put to
+  // the storage server after this much un-journaled stream progress (the
+  // hot sequence scalars live in the pool-resident checkpoint page and are
+  // never sent per segment).
+  std::uint32_t ckpt_watermark = 256 * 1024;
+};
+
+// Host-side sink for connection checkpointing (implemented by the TCP
+// server's CheckpointWriter, src/servers/checkpoint.h).  The engine reports
+// every recoverable-state change through it:
+//  - scalar updates are plain stores into a pool-resident checkpoint page
+//    (shared memory that outlives the process — no IPC, safe per segment);
+//  - queue membership changes move chunk references onto/off the owning
+//    pool's loan ledger, so unacked send data and undelivered receive data
+//    survive the crash as live chunks;
+//  - establish/destroy transitions additionally journal a compact record
+//    into the storage server (the only IPC this subsystem generates).
+class TcpCheckpointSink {
+ public:
+  struct Scalars {
+    TcpState state = TcpState::Closed;
+    std::uint32_t snd_una = 0;
+    std::uint32_t snd_wnd = 0;
+    std::uint32_t rcv_nxt = 0;
+    bool peer_fin = false;
+    bool fin_queued = false;
+  };
+  struct ConnMeta {
+    SockId sock = 0;
+    Ipv4Addr local;
+    std::uint16_t lport = 0;
+    Ipv4Addr peer;
+    std::uint16_t pport = 0;
+    SockId parent_listener = 0;  // nonzero for passive opens
+    bool accept_pending = false;
+  };
+
+  virtual ~TcpCheckpointSink() = default;
+  // Connection reached Established: start checkpointing it.  Returns false
+  // when the sink cannot (page pool exhausted) — the connection then runs
+  // un-checkpointed, exactly like the feature was off.
+  virtual bool ckpt_established(const ConnMeta& meta, const Scalars& s) = 0;
+  virtual void ckpt_scalars(SockId s, const Scalars& sc) = 0;
+  // One chunk appended to / released from the send queue (seq = first byte).
+  virtual void ckpt_sndq_push(SockId s, const chan::RichPtr& chunk,
+                              std::uint32_t seq) = 0;
+  virtual void ckpt_sndq_pop(SockId s, const chan::RichPtr& chunk) = 0;
+  // One in-order frame queued on the receive side (payload at off/len
+  // within the frame chunk), and the app consuming n bytes off the front.
+  virtual void ckpt_rcvq_push(SockId s, const chan::RichPtr& frame,
+                              std::uint16_t off, std::uint16_t len) = 0;
+  virtual void ckpt_rcvq_consume(SockId s, std::size_t n) = 0;
+  // The pending child was accepted by the application.
+  virtual void ckpt_accepted(SockId s) = 0;
+  // The connection left the recoverable world (closed, reset, TIME_WAIT).
+  virtual void ckpt_destroyed(SockId s) = 0;
 };
 
 class TcpEngine {
@@ -93,6 +154,9 @@ class TcpEngine {
     std::function<void(const chan::RichPtr&)> rx_done;          // to IP
     std::function<void(SockId, TcpEvent)> notify;
     std::function<Ipv4Addr(Ipv4Addr dst)> src_for;
+    // Connection-checkpoint sink; nullptr (the default) disables the whole
+    // subsystem — no calls, no cost, no behaviour change.
+    TcpCheckpointSink* ckpt = nullptr;
 
     // Sharded transport plane: this engine's replica index and the replica
     // count, plus the socket-id range the replica allocates from.  Active
@@ -120,6 +184,7 @@ class TcpEngine {
     std::uint64_t conns_established = 0;
     std::uint64_t aggs_in = 0;        // GRO aggregates taken on the fast path
     std::uint64_t agg_frames_in = 0;  // frames those aggregates carried
+    std::uint64_t conns_restored = 0; // rebuilt from a connection checkpoint
   };
 
   TcpEngine(Env env, TcpOptions opts);
@@ -215,6 +280,55 @@ class TcpEngine {
       std::span<const std::byte>);
   std::vector<PfStateKey> connection_keys() const;
 
+  // --- connection checkpointing (transparent TCP recovery) ----------------------
+  // Rebuilds one established connection from its checkpoint: the scalars
+  // come from the pool-resident checkpoint page, the queue chunks from the
+  // loan ledger via the page's slot arrays.  The engine re-takes ownership
+  // of every chunk reference (they were parked, never released).  cwnd/RTT
+  // restart conservatively; snd_nxt rewinds to snd_una so resync_restored()
+  // retransmits from the last acked watermark.
+  struct RestoredSndChunk {
+    std::uint32_t seq = 0;
+    chan::RichPtr chunk;
+  };
+  struct RestoredRcvChunk {
+    chan::RichPtr frame;
+    std::uint16_t offset = 0;
+    std::uint16_t len = 0;
+    std::uint16_t consumed = 0;
+  };
+  struct RestoredConn {
+    SockId sock = 0;
+    TcpState state = TcpState::Closed;
+    Ipv4Addr local;
+    std::uint16_t lport = 0;
+    Ipv4Addr peer;
+    std::uint16_t pport = 0;
+    std::uint32_t snd_una = 0;
+    std::uint32_t snd_wnd = 0;
+    std::uint32_t rcv_nxt = 0;
+    bool peer_fin = false;
+    bool fin_queued = false;
+    SockId parent_listener = 0;
+    bool accept_pending = false;
+    std::vector<RestoredSndChunk> sndq;
+    std::vector<RestoredRcvChunk> rcvq;
+  };
+  bool restore_conn(const RestoredConn& rec);
+  // Resynchronizes every restored connection with its peer: go-back-N
+  // retransmission from snd_una, a window-announcing ACK, and the readiness
+  // events (Readable/Writable/AcceptReady) the application missed.
+  void resync_restored();
+  // Crash path (on_killed): checkpointed connections drop their queue
+  // references WITHOUT releasing them — the references live on in the loan
+  // ledger and the checkpoint pages, which is what restore_conn() adopts.
+  // Detaches the sink; the remaining (un-checkpointed) state tears down as
+  // it always did.
+  void park_checkpointed();
+  // Stops checkpointing one connection (sink overflow): it reverts to the
+  // classic non-recoverable behaviour.
+  void drop_checkpoint(SockId s);
+
   // Human-readable connection state (diagnostics and examples).
   std::string debug(SockId s) const;
 
@@ -295,6 +409,7 @@ class TcpEngine {
     TimerService::TimerId timewait_timer = 0;
 
     SockId parent_listener = 0;
+    bool ckpt = false;  // journaled through the checkpoint sink
   };
   struct Listener {
     SockId sock = 0;
@@ -352,6 +467,18 @@ class TcpEngine {
   std::uint16_t window_field(const Conn& c) const;
   void notify(SockId s, TcpEvent e);
 
+  // --- checkpoint plumbing ---------------------------------------------------------
+  bool ckpt_on(const Conn& c) const {
+    return c.ckpt && env_.ckpt != nullptr;
+  }
+  TcpCheckpointSink::Scalars ckpt_scalars_of(const Conn& c) const;
+  // Pushes the current scalars into the checkpoint page (no-op when the
+  // connection is not checkpointed).
+  void ckpt_touch(Conn& c);
+  // Marks the connection established towards the sink; clears c.ckpt when
+  // the sink cannot take it.
+  void ckpt_establish(Conn& c, bool accept_pending);
+
   Env env_;
   TcpOptions opts_;
   Stats stats_;
@@ -368,6 +495,8 @@ class TcpEngine {
   std::unordered_map<std::uint64_t, chan::RichPtr> hdr_inflight_;
   // Sockets created by open() but not yet listener/connection.
   std::unordered_map<SockId, TupleInfo> embryos_;
+  // Connections restore_conn() rebuilt, awaiting resync_restored().
+  std::vector<SockId> pending_resync_;
 };
 
 }  // namespace newtos::net

@@ -121,6 +121,18 @@ void PfServer::on_message(const std::string& from, const chan::Message& m,
       }
       return;
     }
+    case kWorkProbe: {
+      // The synthetic echo's last hop (rs -> tcpN -> ip -> here): a packet
+      // filter that is alive and processing pays one packet's worth of
+      // work and acks back up the chain.
+      charge(ctx, sim().costs().pf_packet_proc);
+      chan::Message ack;
+      ack.opcode = kWorkProbeAck;
+      ack.req_id = m.req_id;
+      ack.arg0 = 1;
+      send_to(from, ack, ctx);
+      return;
+    }
     case kConnListReply: {
       request_db().complete(m.req_id);
       if (m.ptr.valid()) {

@@ -103,6 +103,15 @@ enum Opcode : std::uint16_t {
   kStoreGet,       // arg0=key id
   kStoreReply,     // req_id; arg0=found(0/1); ptr=value (storage pool)
   kStoreRelease,   // ptr=chunk in storage pool to free
+
+  // --- end-to-end work probes (reincarnation server <-> the stack) ------------------
+  // Heartbeats only prove a process answers kernel notifies; a silently
+  // wedged server (drops its real work, answers heartbeats) passes them.
+  // The work probe is a synthetic echo through the stack: rs -> tcpN ->
+  // ip -> pf, acked back along the same path.  A server that drops work
+  // drops the probe, the reincarnation server times out and restarts it.
+  kWorkProbe = 110,  // req_id=probe cookie
+  kWorkProbeAck,     // req_id=probe cookie; arg0=hops completed
 };
 
 // Storage key ids, namespaced per requesting server by the storage server.
@@ -111,7 +120,16 @@ enum StoreKey : std::uint32_t {
   kKeyUdpSockets = 2,
   kKeyTcpListeners = 3,
   kKeyPfRules = 4,
+  // Connection-checkpoint journal (per TCP replica namespace): a directory
+  // of checkpointed connections plus one compact TCB record per connection
+  // at kKeyTcpCkptRecBase + (sock & 0x00ffffff).
+  kKeyTcpCkptDir = 16,
+  kKeyTcpCkptRecBase = 0x01000000,
 };
+
+inline constexpr std::uint32_t ckpt_record_key(std::uint32_t sock) {
+  return kKeyTcpCkptRecBase + (sock & 0x00ffffffu);
+}
 
 // --- small encode/decode helpers ---------------------------------------------------
 
@@ -363,6 +381,7 @@ inline void route_sock_shards(std::span<const WireSockOp> ops, int tcp_shards,
 }
 
 // Well-known server names.
+inline constexpr const char* kRsName = "rs";
 inline constexpr const char* kTcpName = "tcp";
 inline constexpr const char* kUdpName = "udp";
 inline constexpr const char* kIpName = "ip";

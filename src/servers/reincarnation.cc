@@ -1,5 +1,7 @@
 #include "src/servers/reincarnation.h"
 
+#include "src/servers/proto.h"
+
 namespace newtos::servers {
 
 ReincarnationServer::ReincarnationServer(NodeEnv* env, sim::SimCore* core)
@@ -19,13 +21,81 @@ void ReincarnationServer::manage(Server* child) {
   stats_.emplace(child->name(), ChildStats{});
 }
 
-void ReincarnationServer::start(bool restart) {
-  announce(restart);
-  timers()->schedule(cfg_.heartbeat_interval, [this] { tick(); });
+void ReincarnationServer::set_probe_targets(
+    std::vector<std::string> targets) {
+  probe_targets_ = std::move(targets);
 }
 
-void ReincarnationServer::on_message(const std::string&, const chan::Message&,
-                                     sim::Context&) {}
+ReincarnationServer::Child* ReincarnationServer::child_by_name(
+    const std::string& name) {
+  for (auto& c : children_) {
+    if (c.server->name() == name) return &c;
+  }
+  return nullptr;
+}
+
+void ReincarnationServer::start(bool restart) {
+  if (env().knobs.work_probes) {
+    for (const auto& t : probe_targets_) {
+      expose_in_queue(t, 64);
+      connect_out(t);
+    }
+  }
+  announce(restart);
+  timers()->schedule(cfg_.heartbeat_interval, [this] { tick(); });
+  if (env().knobs.work_probes && !probe_targets_.empty()) {
+    timers()->schedule(cfg_.probe_interval, [this] { probe_tick(); });
+  }
+}
+
+void ReincarnationServer::on_message(const std::string& from,
+                                     const chan::Message& m, sim::Context&) {
+  if (m.opcode != kWorkProbeAck) return;
+  auto cit = probe_cookies_.find(m.req_id);
+  if (cit == probe_cookies_.end() || cit->second != from) return;
+  probe_cookies_.erase(cit);
+  Probe& p = probes_[from];
+  if (p.outstanding == m.req_id) {
+    p.outstanding = 0;
+    p.missed = 0;
+  }
+}
+
+void ReincarnationServer::probe_tick() {
+  for (const auto& t : probe_targets_) {
+    Probe& p = probes_[t];
+    Child* child = child_by_name(t);
+    if (child == nullptr || !child->server->alive() ||
+        child->restart_pending) {
+      // Dead or already reincarnating: crash/heartbeat machinery owns it.
+      p.outstanding = 0;
+      p.missed = 0;
+      continue;
+    }
+    if (p.outstanding != 0) {
+      probe_cookies_.erase(p.outstanding);
+      ++p.missed;
+      p.outstanding = 0;
+      if (p.missed >= cfg_.max_missed_probes) {
+        // Answers heartbeats but drops work: the silent wedge the paper
+        // fixed by hand.  Reset it like a hung child.
+        ++stats_[t].probe_resets;
+        p.missed = 0;
+        child->server->kill();  // triggers child_crashed via report_crash
+        continue;
+      }
+    }
+    chan::Message m;
+    m.opcode = kWorkProbe;
+    m.req_id = next_probe_++;
+    sim::Context* ctx = in_handler() ? &cur() : nullptr;
+    if (ctx != nullptr && send_to(t, m, *ctx)) {
+      p.outstanding = m.req_id;
+      probe_cookies_[m.req_id] = t;
+    }
+  }
+  timers()->schedule(cfg_.probe_interval, [this] { probe_tick(); });
+}
 
 void ReincarnationServer::tick() {
   for (auto& child : children_) {

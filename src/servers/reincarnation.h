@@ -5,6 +5,14 @@
 // after a short exec+init delay, in restart mode, so it knows to recover its
 // state from the storage server.  Faults are never injected into the
 // reincarnation server itself (as in the paper).
+//
+// Heartbeats cannot see a *silently wedged* server — one that still answers
+// kernel notifies but drops its real work (the paper's "we had to manually
+// restart the TCP component").  With RuntimeKnobs::work_probes on, the
+// reincarnation server additionally sends periodic end-to-end WORK probes:
+// a synthetic echo rs -> tcpN -> ip -> pf, acked back along the same path
+// (kWorkProbe/kWorkProbeAck).  A wedged transport drops the probe; after
+// `max_missed_probes` unanswered probes it is reset like a hung one.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +30,10 @@ class ReincarnationServer : public Server {
     sim::Time heartbeat_interval = 50 * sim::kMillisecond;
     int max_missed_beats = 2;
     sim::Time restart_delay = 5 * sim::kMillisecond;  // exec + init
+    // End-to-end work probes (only sent when the node enables
+    // RuntimeKnobs::work_probes and probe targets were registered).
+    sim::Time probe_interval = 100 * sim::kMillisecond;
+    int max_missed_probes = 2;
   };
 
   ReincarnationServer(NodeEnv* env, sim::SimCore* core);
@@ -29,6 +41,9 @@ class ReincarnationServer : public Server {
 
   // Registers a child.  Children are booted by the node; we only restart.
   void manage(Server* child);
+  // Declares which children receive end-to-end work probes (the transport
+  // replicas).  Must be called before boot; no-op without knobs.work_probes.
+  void set_probe_targets(std::vector<std::string> targets);
 
   // Crash signal (wired to NodeEnv::report_crash by the node).
   void child_crashed(Server* child);
@@ -36,6 +51,7 @@ class ReincarnationServer : public Server {
   struct ChildStats {
     std::uint64_t crashes = 0;
     std::uint64_t hang_resets = 0;
+    std::uint64_t probe_resets = 0;  // silent wedges caught by work probes
     std::uint64_t restarts = 0;
   };
   const std::map<std::string, ChildStats>& child_stats() const {
@@ -54,13 +70,23 @@ class ReincarnationServer : public Server {
     int missed = 0;
     bool restart_pending = false;
   };
+  struct Probe {
+    std::uint64_t outstanding = 0;  // cookie of the unanswered probe, or 0
+    int missed = 0;
+  };
 
   void tick();
+  void probe_tick();
   void schedule_restart(Server* child);
+  Child* child_by_name(const std::string& name);
 
   Config cfg_;
   std::vector<Child> children_;
   std::map<std::string, ChildStats> stats_;
+  std::vector<std::string> probe_targets_;
+  std::map<std::string, Probe> probes_;
+  std::map<std::uint64_t, std::string> probe_cookies_;  // cookie -> target
+  std::uint64_t next_probe_ = 1;
 };
 
 }  // namespace newtos::servers

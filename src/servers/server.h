@@ -49,6 +49,9 @@ struct RuntimeKnobs {
   // Extra per-packet path length of the legacy MINIX stack (Table II line 1).
   sim::Cycles legacy_per_packet = 0;
   std::uint32_t app_write_size = 8192;
+  // End-to-end work probes (reincarnation server -> transports -> IP -> PF):
+  // servers only create the probe channels when this is on.
+  bool work_probes = false;
 };
 
 // Everything a server needs from its node; filled in by core/node.cc.
@@ -178,6 +181,9 @@ class Server {
     assert(current_ctx_ != nullptr && "engine callback outside a handler");
     return *current_ctx_;
   }
+  // True while a handler is executing (engine callbacks from teardown paths
+  // have no context to charge against).
+  bool in_handler() const { return current_ctx_ != nullptr; }
 
   // Socket-buffer fast path (Section V-B): the application's C library
   // manipulates the exported socket buffers directly, so engine calls made

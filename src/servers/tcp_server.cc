@@ -27,6 +27,28 @@ bool TcpServer::is_sibling(const std::string& peer) const {
          siblings_.end();
 }
 
+void TcpServer::build_writer() {
+  if (!opts_.checkpoint) return;
+  CheckpointWriter::Env we;
+  we.pool = pool_;
+  we.pools = env().pools;
+  we.watermark = opts_.ckpt_watermark;
+  we.send_store = [this](const chan::Message& m, sim::Context& ctx) {
+    return send_to(kStoreName, m, ctx);
+  };
+  we.new_store_req = [this] { return request_db().add(kStoreName, 0, {}); };
+  we.defer = [this](std::function<void(sim::Context&)> fn) {
+    post_control(std::move(fn), 100);
+  };
+  we.charge = [this](sim::Cycles c) {
+    if (in_handler()) charge(cur(), c);
+  };
+  we.drop_checkpoint = [this](net::SockId s) {
+    if (engine_) engine_->drop_checkpoint(s);
+  };
+  writer_ = std::make_unique<CheckpointWriter>(std::move(we));
+}
+
 void TcpServer::build_engine() {
   net::TcpEngine::Env e;
   e.clock = clock();
@@ -34,6 +56,7 @@ void TcpServer::build_engine() {
   e.pools = env().pools;
   e.buf_pool = pool_;
   e.src_for = src_for_;
+  e.ckpt = writer_.get();
   e.shard = shard_;
   e.shard_count = shard_count_;
   if (shard_count_ > 1) {
@@ -87,14 +110,15 @@ void TcpServer::start(bool restart) {
     expose_in_queue(sib, 256);
     connect_out(sib);
   }
+  if (env().knobs.work_probes) {
+    expose_in_queue(kRsName, 64);
+    connect_out(kRsName);
+  }
+  build_writer();
   build_engine();
   if (restart) {
     post_control([this](sim::Context& ctx) {
-      chan::Message m;
-      m.opcode = kStoreGet;
-      m.arg0 = kKeyTcpListeners;
-      m.req_id = request_db().add(kStoreName, 0, {});
-      if (!send_to(kStoreName, m, ctx)) announce(true);
+      if (!store_get(kKeyTcpListeners, ctx)) announce(true);
     });
   } else {
     post_control([this](sim::Context&) { announce(false); });
@@ -104,9 +128,34 @@ void TcpServer::start(bool restart) {
 void TcpServer::on_killed() {
   // The dying process cannot send done-reports; queued receive frames go
   // straight back to their owning pool.  In-flight descriptor chunks leak,
-  // bounded per crash.
+  // bounded per crash.  Checkpointed connections first PARK their queue
+  // references: they stay live in the pools, recorded in the loan ledger
+  // and the checkpoint pages, ready for the next incarnation to re-adopt.
+  if (engine_ && opts_.checkpoint) engine_->park_checkpointed();
+  writer_.reset();  // bookkeeping dies with the process; the pages survive
   drop_engine(engine_);
   tx_descs_.clear();
+  store_gets_.clear();
+  ckpt_pending_ = 0;
+}
+
+bool TcpServer::store_get(std::uint32_t key, sim::Context& ctx) {
+  chan::Message m;
+  m.opcode = kStoreGet;
+  m.arg0 = key;
+  m.req_id = request_db().add(kStoreName, 0, {});
+  if (!send_to(kStoreName, m, ctx)) {
+    request_db().complete(m.req_id);
+    return false;
+  }
+  store_gets_[m.req_id] = key;
+  return true;
+}
+
+void TcpServer::finish_restore(sim::Context& ctx) {
+  (void)ctx;
+  if (engine_) engine_->resync_restored();
+  announce(true);
 }
 
 void TcpServer::save_listeners(sim::Context& ctx) {
@@ -308,26 +357,46 @@ void TcpServer::on_message(const std::string& from, const chan::Message& m,
       return;
     case kStoreReply: {
       if (!request_db().complete(m.req_id)) return;
+      auto git = store_gets_.find(m.req_id);
+      const std::uint32_t key =
+          git == store_gets_.end() ? kKeyTcpListeners : git->second;
+      if (git != store_gets_.end()) store_gets_.erase(git);
+      handle_store_reply(key, m, ctx);
       if (m.arg0 != 0) {
-        auto recs = net::TcpEngine::parse_listeners(env().pools->read(m.ptr));
-        if (recs) {
-          // "TCP can only restore listening sockets since they do not have
-          // any frequently changing state" (Section V-D).  Only HOME
-          // listeners restore from storage: replica records are re-seeded
-          // by the siblings on announce, which also reconciles listeners
-          // that were closed while this replica was down (a stored replica
-          // record could otherwise resurrect a dead port).
-          for (const auto& rec : *recs) {
-            if (shard_count_ == 1 || net::sock_shard(rec.id) == shard_)
-              engine_->restore_listener(rec);
-          }
-        }
         chan::Message rel;
         rel.opcode = kStoreRelease;
         rel.ptr = m.ptr;
         send_to(kStoreName, rel, ctx);
       }
-      announce(true);
+      return;
+    }
+    case kWorkProbe: {
+      // The reincarnation server's end-to-end probe.  Handling it *is*
+      // work: a silently wedged incarnation drops it (Server::drop_work)
+      // and the missing ack is the detection signal.  Ack IMMEDIATELY —
+      // the probe decides whether *this* replica processes work; a wedged
+      // IP or PF downstream must never get a healthy transport restarted
+      // in its place (their own heartbeats cover them).  The echo still
+      // bounces through IP and PF so the full path is exercised and the
+      // deeper ack reports the hops (the prober ignores duplicates).
+      charge(ctx, sim().costs().tcp_ack_proc);
+      chan::Message ack;
+      ack.opcode = kWorkProbeAck;
+      ack.req_id = m.req_id;
+      ack.arg0 = 1;
+      send_to(kRsName, ack, ctx);
+      chan::Message p;
+      p.opcode = kWorkProbe;
+      p.req_id = m.req_id;
+      send_to(kIpName, p, ctx);
+      return;
+    }
+    case kWorkProbeAck: {
+      chan::Message ack;
+      ack.opcode = kWorkProbeAck;
+      ack.req_id = m.req_id;
+      ack.arg0 = m.arg0 + 1;
+      send_to(kRsName, ack, ctx);
       return;
     }
     case kSockBatch: {
@@ -352,6 +421,71 @@ void TcpServer::on_message(const std::string& from, const chan::Message& m,
   }
 }
 
+void TcpServer::handle_store_reply(std::uint32_t key, const chan::Message& m,
+                                   sim::Context& ctx) {
+  const bool found = m.arg0 != 0;
+  if (key == kKeyTcpListeners) {
+    if (found) {
+      auto recs = net::TcpEngine::parse_listeners(env().pools->read(m.ptr));
+      if (recs) {
+        // "TCP can only restore listening sockets since they do not have
+        // any frequently changing state" (Section V-D).  Only HOME
+        // listeners restore from storage: replica records are re-seeded
+        // by the siblings on announce, which also reconciles listeners
+        // that were closed while this replica was down (a stored replica
+        // record could otherwise resurrect a dead port).
+        for (const auto& rec : *recs) {
+          if (shard_count_ == 1 || net::sock_shard(rec.id) == shard_)
+            engine_->restore_listener(rec);
+        }
+      }
+    }
+    // Listeners first (restored connections may reference their parent),
+    // then the connection checkpoints.
+    if (writer_ == nullptr || !store_get(kKeyTcpCkptDir, ctx)) {
+      announce(true);
+    }
+    return;
+  }
+  if (key == kKeyTcpCkptDir) {
+    if (found) {
+      const auto socks =
+          CheckpointWriter::parse_dir(env().pools->read(m.ptr));
+      for (const std::uint32_t sock : socks) {
+        if (store_get(ckpt_record_key(sock), ctx)) ++ckpt_pending_;
+      }
+    }
+    if (ckpt_pending_ == 0) finish_restore(ctx);
+    return;
+  }
+  if (key >= kKeyTcpCkptRecBase) {
+    --ckpt_pending_;
+    // The sock's shard bits were masked into the key; rebuild our own id
+    // range (records are namespaced per replica, so they are always ours).
+    std::uint32_t sock = key - kKeyTcpCkptRecBase;
+    if (shard_count_ > 1) sock |= net::sock_shard_base(shard_);
+    bool restored = false;
+    if (found && writer_) {
+      auto rec = CheckpointWriter::parse_record(env().pools->read(m.ptr));
+      if (rec && rec->sock == sock) {
+        auto conn = writer_->load_page(*rec);
+        if (conn && engine_->restore_conn(*conn)) {
+          writer_->adopt(*rec);
+          restored = true;
+        }
+      }
+    }
+    if (!restored && writer_) {
+      // The record or its page did not survive (storage lost it, page
+      // stale, tuple collision): the connection is gone — sweep whatever
+      // its borrower still parked so nothing strands.
+      writer_->reclaim_orphan(sock);
+    }
+    if (ckpt_pending_ == 0) finish_restore(ctx);
+    return;
+  }
+}
+
 void TcpServer::on_peer_up(const std::string& peer, bool restarted,
                            sim::Context& ctx) {
   if (peer == kIpName && restarted) {
@@ -363,7 +497,10 @@ void TcpServer::on_peer_up(const std::string& peer, bool restarted,
     return;
   }
   if (peer == kStoreName && restarted) {
+    // Storage came back empty: re-store the listener set AND the whole
+    // checkpoint namespace, so a later TCP crash still finds its pages.
     save_listeners(ctx);
+    if (writer_) writer_->store_all(ctx);
     return;
   }
   if (is_sibling(peer) && engine_) {

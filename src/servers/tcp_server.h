@@ -1,9 +1,18 @@
 // The TCP server: hosts the TCP engine — the component with "large,
 // frequently changing state for each connection, difficult to recover"
-// (Table I).  Only listening sockets are stored and restored; established
-// connections die with the server, which is the paper's deliberate
-// trade-off: isolating the unrecoverable part keeps everything else
-// restartable.
+// (Table I).  By default only listening sockets are stored and restored;
+// established connections die with the server, which is the paper's
+// deliberate trade-off: isolating the unrecoverable part keeps everything
+// else restartable.
+//
+// With `TcpOptions::checkpoint` on, that trade-off is removed: established
+// connections journal per-connection TCB checkpoints (pool-resident pages
+// + compact storage-server records — src/servers/checkpoint.h) and survive
+// a crash of this server with only a throughput dip.  The restart sequence
+// fetches the listener set, the checkpoint directory and each record from
+// the storage server, rebuilds the TCBs around the parked queue chunks,
+// and resynchronizes with the peers by retransmission from the last acked
+// watermark.
 //
 // Sharded transport plane: the node may run N replicas of this server
 // (tcp, tcp1, ..., tcpN-1), each on its own core with its own engine,
@@ -11,16 +20,19 @@
 // replica by 4-tuple hash; listener sockets are replicated to every shard
 // SO_REUSEPORT-style (each replica owns an accept queue for the port), so
 // any replica can accept the connections steered to it.  Replicas restart
-// individually: flows on sibling shards keep running while one recovers.
+// individually: flows on sibling shards keep running while one recovers —
+// and with checkpointing on, even the crashed replica's own flows do.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/net/tcp.h"
+#include "src/servers/checkpoint.h"
 #include "src/servers/proto.h"
 #include "src/servers/server.h"
 
@@ -39,6 +51,16 @@ class TcpServer : public Server {
   net::TcpEngine* engine() { return engine_.get(); }
   int shard() const { return shard_; }
 
+  // Checkpoint overhead counters (0 with checkpointing off), published as
+  // node stats "tcp.ckpt_puts" / "tcp.ckpt_bytes".
+  std::uint64_t ckpt_puts() const { return writer_ ? writer_->puts() : 0; }
+  std::uint64_t ckpt_bytes() const {
+    return writer_ ? writer_->put_bytes() : 0;
+  }
+  std::uint64_t ckpt_tracked() const {
+    return writer_ ? writer_->tracked() : 0;
+  }
+
   void handle_sock_request(const chan::Message& m, sim::Context& ctx,
                            const std::function<void(const chan::Message&)>&
                                reply);
@@ -52,6 +74,7 @@ class TcpServer : public Server {
   void on_killed() override;
 
  private:
+  void build_writer();
   void build_engine();
   void save_listeners(sim::Context& ctx);
   bool is_sibling(const std::string& peer) const;
@@ -61,15 +84,28 @@ class TcpServer : public Server {
                           sim::Context& ctx, const std::string* only = nullptr);
   void replicate_close(net::SockId s, sim::Context& ctx);
 
+  // --- checkpoint restore (restart with TcpOptions::checkpoint on) ----------------
+  // Issues a kStoreGet and remembers which key the reply answers.
+  bool store_get(std::uint32_t key, sim::Context& ctx);
+  void handle_store_reply(std::uint32_t key, const chan::Message& m,
+                          sim::Context& ctx);
+  // All records fetched (or none existed): resync the restored connections
+  // and open for business.
+  void finish_restore(sim::Context& ctx);
+
   net::TcpOptions opts_;
   std::function<net::Ipv4Addr(net::Ipv4Addr)> src_for_;
   int shard_ = 0;
   int shard_count_ = 1;
   std::vector<std::string> siblings_;
+  std::unique_ptr<CheckpointWriter> writer_;  // before engine_: outlives it
   std::unique_ptr<net::TcpEngine> engine_;
   chan::Pool* pool_ = nullptr;
   // kIpTx descriptors in flight; freed on kIpTxDone or IP restart.
   std::unordered_map<std::uint64_t, chan::RichPtr> tx_descs_;
+  // In-flight kStoreGet requests of the restart sequence (req -> key).
+  std::map<std::uint64_t, std::uint32_t> store_gets_;
+  int ckpt_pending_ = 0;  // record fetches still outstanding
 };
 
 }  // namespace newtos::servers

@@ -181,6 +181,25 @@ TEST(Recovery, HangIsCaughtByHeartbeats) {
   EXPECT_GT(mbps, 500.0);
 }
 
+TEST(Recovery, TcpCrashTransparentWithCheckpointing) {
+  // The checkpointing-on twin of the test above: same rig, same crash, but
+  // the established connections survive — zero reconnects (the Table I
+  // limitation, removed).  tests/test_checkpoint.cc drills into the
+  // mechanism; this twin pins the contrast next to the classic behaviour.
+  TestbedOptions opts = default_opts();
+  opts.tcp_checkpoint = true;
+  Rig rig(opts);
+  rig.tb.run_until(2 * sim::kSecond);
+  EXPECT_TRUE(rig.ssh.connected());
+  rig.faults.inject(servers::kTcpName, FaultType::Crash);
+  rig.tb.run_until(8 * sim::kSecond);
+  EXPECT_TRUE(rig.ssh.connected());
+  EXPECT_EQ(rig.ssh.resets(), 0u);
+  EXPECT_EQ(rig.ssh.reconnects(), 1u);  // the initial connect only
+  EXPECT_GE(rig.tb.newtos().tcp_engine()->stats().conns_restored, 1u);
+  EXPECT_GT(rig.resolver.answered(), 20u);
+}
+
 TEST(Recovery, SilentWedgeNeedsManualRestart) {
   Rig rig(default_opts());
   rig.faults.inject_at(2 * sim::kSecond, servers::kTcpName,
@@ -198,6 +217,30 @@ TEST(Recovery, SilentWedgeNeedsManualRestart) {
   rig.tb.newtos().manual_restart(servers::kTcpName);
   rig.tb.run_until(10 * sim::kSecond);
   EXPECT_TRUE(rig.ssh.connected());
+}
+
+TEST(Recovery, SilentWedgeAutoDetectedByWorkProbes) {
+  // With work probes on, the reincarnation server notices that TCP answers
+  // heartbeats but drops its work (the probe echo through IP/PF never
+  // acks) and restarts it without operator help.  With checkpointing also
+  // on, even the established connections survive the automatic restart.
+  TestbedOptions opts = default_opts();
+  opts.work_probes = true;
+  opts.tcp_checkpoint = true;
+  Rig rig(opts);
+  rig.faults.inject_at(2 * sim::kSecond, servers::kTcpName,
+                       FaultType::SilentWedge);
+  rig.tb.run_until(5 * sim::kSecond);
+  auto* rs = rig.tb.newtos().reincarnation();
+  EXPECT_GE(rs->child_stats().at(servers::kTcpName).probe_resets, 1u);
+  EXPECT_EQ(rs->child_stats().at(servers::kTcpName).hang_resets, 0u);
+  // No manual restart — and the connections survived the reset.
+  EXPECT_TRUE(rig.ssh.connected());
+  EXPECT_EQ(rig.ssh.reconnects(), 1u);
+  const std::uint64_t before = rig.rx_bytes();
+  rig.tb.run_until(8 * sim::kSecond);
+  const double mbps = (rig.rx_bytes() - before) * 8.0 / 3.0 / 1e6;
+  EXPECT_GT(mbps, 500.0);
 }
 
 TEST(Recovery, StorageCrashStateIsRestoredByPeers) {
