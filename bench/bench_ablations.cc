@@ -8,6 +8,8 @@
 //   D. Packet filter: in the T junction vs. absent (the price of the extra
 //      per-packet round trip IP pays for isolation).
 //   E. PF rule-table size (state-table hit vs. full rule walk).
+//   F. Multi-queue RSS: the per-shard RX fast path vs. every inbound frame
+//      funnelling through the central IP core (sharded transport plane).
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -107,8 +109,22 @@ int main() {
                 "             %5.2f Gbps   (keep-state hits bypass the walk)\n",
                 run(small), run(big));
   }
+  {
+    // F: with the transport plane already sharded, the remaining ceiling is
+    // the central IP core eating every inbound frame; RSS queues matched to
+    // the shards move that work onto the replicas' own cores.
+    TestbedOptions one = base();
+    one.tcp_shards = 4;
+    TestbedOptions four = base();
+    four.tcp_shards = 4;
+    four.rx_queues = 4;
+    std::printf("F. RSS rx_queues     4 queues: %5.2f Gbps   1 queue:     "
+                "             %5.2f Gbps   (tcp_shards=4, 32 flows)\n",
+                run(four, 32), run(one, 32));
+  }
   std::printf(
       "\n(A is Table II line 1 vs 3 in miniature; B/C echo Section V-A;\n"
-      " D/E quantify the isolation price of the PF T-junction, Figure 3.)\n");
+      " D/E quantify the isolation price of the PF T-junction, Figure 3;\n"
+      " F is the receive-side mirror of sharding: queues follow shards.)\n");
   return 0;
 }

@@ -25,6 +25,7 @@
 #include "src/core/testbed.h"
 #include "src/servers/driver_server.h"
 #include "src/servers/ip_server.h"
+#include "src/servers/tcp_server.h"
 
 using namespace newtos;
 
@@ -392,6 +393,44 @@ void zero_copy_datapoint(benchjson::Writer& jw) {
                                 static_cast<double>(forwarded));
 }
 
+// Shared body of the many-flow outbound experiments: `flows` bulk TCP
+// connections leave the system under test over its NICs; returns aggregate
+// receiver goodput over the measurement window.
+double run_outbound_flows(Testbed& tb, int flows, int nics,
+                          std::uint32_t write_size, sim::Time warm,
+                          sim::Time window) {
+  std::vector<std::unique_ptr<apps::BulkReceiver>> receivers;
+  std::vector<std::unique_ptr<apps::BulkSender>> senders;
+  for (int f = 0; f < flows; ++f) {
+    AppActor* rx_app = tb.peer().add_app("rx" + std::to_string(f));
+    apps::BulkReceiver::Config rc;
+    rc.port = static_cast<std::uint16_t>(6001 + f);
+    rc.record_series = false;
+    receivers.push_back(
+        std::make_unique<apps::BulkReceiver>(tb.peer(), rx_app, rc));
+    receivers.back()->start();
+
+    AppActor* tx_app = tb.newtos().add_app("tx" + std::to_string(f));
+    apps::BulkSender::Config sc;
+    sc.dst = tb.newtos().peer_addr(f % nics);
+    sc.port = rc.port;
+    sc.write_size = write_size;
+    senders.push_back(
+        std::make_unique<apps::BulkSender>(tb.newtos(), tx_app, sc));
+    senders.back()->start();
+  }
+
+  tb.run_until(warm);
+  std::uint64_t start_bytes = 0;
+  for (auto& r : receivers) start_bytes += r->bytes();
+  tb.run_until(warm + window);
+  std::uint64_t bytes = 0;
+  for (auto& r : receivers) bytes += r->bytes();
+  bytes -= start_bytes;
+  return static_cast<double>(bytes) * 8.0 /
+         (static_cast<double>(window) / 1e9) / 1e9;
+}
+
 // The sharded-transport scalability datapoint: the paper's argument that a
 // component can be replicated across further cores, measured.  32 bulk TCP
 // flows leave the system under test over 5 gigabit links; the TCP server —
@@ -412,37 +451,8 @@ void sharding_datapoint(benchjson::Writer& jw) {
     TestbedOptions opts = base(StackMode::kSplitSyscall, kNics, false);
     opts.tcp_shards = shards;
     Testbed tb(opts);
-
-    std::vector<std::unique_ptr<apps::BulkReceiver>> receivers;
-    std::vector<std::unique_ptr<apps::BulkSender>> senders;
-    for (int f = 0; f < kFlows; ++f) {
-      AppActor* rx_app = tb.peer().add_app("rx" + std::to_string(f));
-      apps::BulkReceiver::Config rc;
-      rc.port = static_cast<std::uint16_t>(6001 + f);
-      rc.record_series = false;
-      receivers.push_back(
-          std::make_unique<apps::BulkReceiver>(tb.peer(), rx_app, rc));
-      receivers.back()->start();
-
-      AppActor* tx_app = tb.newtos().add_app("tx" + std::to_string(f));
-      apps::BulkSender::Config sc;
-      sc.dst = tb.newtos().peer_addr(f % kNics);
-      sc.port = rc.port;
-      sc.write_size = opts.app_write_size;
-      senders.push_back(
-          std::make_unique<apps::BulkSender>(tb.newtos(), tx_app, sc));
-      senders.back()->start();
-    }
-
-    tb.run_until(warm);
-    std::uint64_t start_bytes = 0;
-    for (auto& r : receivers) start_bytes += r->bytes();
-    tb.run_until(warm + window);
-    std::uint64_t bytes = 0;
-    for (auto& r : receivers) bytes += r->bytes();
-    bytes -= start_bytes;
-    const double gbps = static_cast<double>(bytes) * 8.0 /
-                        (static_cast<double>(window) / 1e9) / 1e9;
+    const double gbps = run_outbound_flows(tb, kFlows, kNics,
+                                           opts.app_write_size, warm, window);
 
     std::size_t conns = 0;
     std::size_t busiest = 0;
@@ -461,6 +471,107 @@ void sharding_datapoint(benchjson::Writer& jw) {
     jw.field("gbps", gbps);
     jw.field("flows", static_cast<std::uint64_t>(conns));
     jw.field("busiest_replica", static_cast<std::uint64_t>(busiest));
+  }
+}
+
+// Shared body of the many-flow inbound experiments: `flows` bulk TCP
+// connections enter the system under test over its NICs; returns aggregate
+// receiver goodput over the measurement window.
+double run_inbound_flows(Testbed& tb, int flows, int nics,
+                         std::uint32_t write_size, sim::Time warm,
+                         sim::Time window) {
+  std::vector<std::unique_ptr<apps::BulkReceiver>> receivers;
+  std::vector<std::unique_ptr<apps::BulkSender>> senders;
+  for (int f = 0; f < flows; ++f) {
+    AppActor* rx_app = tb.newtos().add_app("rx" + std::to_string(f));
+    apps::BulkReceiver::Config rc;
+    rc.port = static_cast<std::uint16_t>(6001 + f);
+    rc.record_series = false;
+    receivers.push_back(
+        std::make_unique<apps::BulkReceiver>(tb.newtos(), rx_app, rc));
+    receivers.back()->start();
+
+    AppActor* tx_app = tb.peer().add_app("tx" + std::to_string(f));
+    apps::BulkSender::Config sc;
+    sc.dst = tb.peer().peer_addr(f % nics);
+    sc.port = rc.port;
+    sc.write_size = write_size;
+    senders.push_back(
+        std::make_unique<apps::BulkSender>(tb.peer(), tx_app, sc));
+    senders.back()->start();
+  }
+
+  tb.run_until(warm);
+  std::uint64_t start_bytes = 0;
+  for (auto& r : receivers) start_bytes += r->bytes();
+  tb.run_until(warm + window);
+  std::uint64_t bytes = 0;
+  for (auto& r : receivers) bytes += r->bytes();
+  bytes -= start_bytes;
+  return static_cast<double>(bytes) * 8.0 /
+         (static_cast<double>(window) / 1e9) / 1e9;
+}
+
+// The multi-queue RSS datapoint: the 32-flow sharded experiment run in the
+// direction receive-side scaling is for — INTO the system under test, on
+// per-frame receive (the classic path every Table II row uses), with the
+// transport plane fixed at 4 replicas and 5 x 2GbE so the wire is not the
+// ceiling.  With one queue this IS the classic sharded configuration:
+// every inbound frame funnels through the central IP server, which hashes
+// and re-forwards each one — IP saturates and the aggregate stalls under
+// 3 Gb/s no matter how many replicas wait behind it.  With rx_queues ==
+// tcp_shards every steerable frame lands on the queue of its home replica
+// and the drivers post it there directly (kDrvRxFast) — the hoisted IP
+// receive work runs on the shards' own cores, the serialization point
+// disappears, and the aggregate beats the single-stack TSO row (4.74).
+void rss_datapoint(benchjson::Writer& jw) {
+  constexpr int kFlows = 32;
+  constexpr int kNics = 5;
+  constexpr int kShards = 4;
+  const sim::Time warm = 300 * sim::kMillisecond;
+  const sim::Time window = 500 * sim::kMillisecond;
+
+  std::printf(
+      "\nMulti-queue RSS fast path (split stack + SYSCALL, %d inbound "
+      "flows, %d x 2GbE, tcp_shards=%d):\n",
+      kFlows, kNics, kShards);
+  for (int queues : {1, 2, 4}) {
+    TestbedOptions opts = base(StackMode::kSplitSyscall, kNics, false);
+    opts.tcp_shards = kShards;
+    opts.rx_queues = queues;
+    opts.gbps = 2.0;
+    Testbed tb(opts);
+    const double gbps = run_inbound_flows(tb, kFlows, kNics,
+                                          opts.app_write_size, warm, window);
+
+    // The per-shard inbound split: frames each replica's fast path consumed
+    // locally vs frames that still crossed the central IP server.
+    std::uint64_t fast = 0;
+    std::uint64_t fallback = 0;
+    std::string per_shard;
+    for (int s = 0; s < tb.newtos().tcp_shard_count(); ++s) {
+      auto* tcp = dynamic_cast<servers::TcpServer*>(
+          tb.newtos().transport_server('T', s));
+      if (tcp == nullptr || tcp->fastpath() == nullptr) continue;
+      const auto& fs = tcp->fastpath()->stats();
+      fast += fs.fast_frames;
+      fallback += fs.fallback_frames;
+      per_shard += (per_shard.empty() ? "" : "/") +
+                   std::to_string(fs.fast_frames);
+    }
+    std::printf(
+        "  rx_queues=%d:  %6.2f Gb/s aggregate   (fast %llu, fallback %llu"
+        "%s%s)\n",
+        queues, gbps, static_cast<unsigned long long>(fast),
+        static_cast<unsigned long long>(fallback),
+        per_shard.empty() ? "" : ", per shard ", per_shard.c_str());
+    jw.begin_row();
+    jw.field("label", std::string("datapoint: rss rx_queues=") +
+                          std::to_string(queues) + " tcp_shards=" +
+                          std::to_string(kShards));
+    jw.field("gbps", gbps);
+    jw.field("fast_frames", fast);
+    jw.field("fallback_frames", fallback);
   }
 }
 
@@ -523,6 +634,7 @@ int main() {
   batching_datapoint(jw);
   zero_copy_datapoint(jw);
   sharding_datapoint(jw);
+  rss_datapoint(jw);
   rx_batching_datapoint(jw);
   jw.write("BENCH_table2.json");
   return 0;

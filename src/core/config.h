@@ -61,6 +61,17 @@ struct NodeConfig {
   int rx_coalesce_frames = 0;
   std::uint32_t rx_coalesce_usecs = 50;
   bool gro = false;
+  // Multi-queue NIC RSS (split arrangements only).  Default 1: one RX queue
+  // per NIC and every Table II row keeps the classic driver -> IP receive
+  // path, byte for byte.  With rx_queues > 1 each NIC hashes steerable
+  // frames (IPv4 TCP/UDP with readable ports) across N RX queues with the
+  // same 4-tuple hash the transport plane steers by, the driver polls each
+  // queue separately, and a queue's frames whose home shard index equals
+  // the queue index are posted straight to that replica (kDrvRxFast) —
+  // running the hoisted IP receive work (src/net/ip_fastpath.h) on the
+  // shard's own core instead of the central IP core.  Everything else
+  // falls back to the classic path.
+  int rx_queues = 1;
   // Transparent TCP recovery (split arrangements only).  Default off: the
   // Table I trade-off stands and every Table II row is byte-identical.
   // With it on, established connections journal per-connection TCB

@@ -1,6 +1,8 @@
 #include "src/core/node.h"
 
 #include <algorithm>
+#include <array>
+#include <map>
 
 #include "src/core/socket_ring.h"
 #include "src/servers/driver_server.h"
@@ -142,12 +144,20 @@ sim::SimCore* Node::fresh_core(const std::string& name) {
 }
 
 void Node::build() {
+  // Multi-queue RSS is a split-stack feature: a combined stack has no
+  // per-shard replicas for the queues to home on.  The id encoding bounds
+  // the queue count the same way it bounds the shard count.
+  const int rx_queues =
+      cfg_.split_stack()
+          ? std::clamp(cfg_.rx_queues, 1, net::kMaxTransportShards)
+          : 1;
   for (int i = 0; i < cfg_.nics; ++i) {
     drv::SimNic::Config nc;
     nc.hw_tso = true;
     nc.hw_csum = true;
     nc.rx_coalesce_frames = cfg_.rx_coalesce_frames;
     nc.rx_coalesce_usecs = cfg_.rx_coalesce_usecs;
+    nc.rx_queues = rx_queues;
     nics_.push_back(std::make_unique<drv::SimNic>(
         sim_, pools_, net::MacAddr::local(g_mac_counter++), nc));
   }
@@ -192,6 +202,7 @@ void Node::build() {
   servers_.emplace(servers::kStoreName, std::move(store));
   boot_order_.push_back(servers::kStoreName);
 
+  const bool rss_fast = rx_queues > 1;
   if (!inline_drivers) {
     for (int i = 0; i < cfg_.nics; ++i) {
       const std::string name = servers::driver_name(i);
@@ -200,6 +211,7 @@ void Node::build() {
                                       : servers::kIpName;
       auto drv = std::make_unique<servers::DriverServer>(
           &env_, fresh_core(name), nics_[i].get(), i, ip_peer);
+      if (rss_fast) drv->enable_fast_path(tcp_shards, udp_shards);
       servers_.emplace(name, std::move(drv));
       boot_order_.push_back(name);
     }
@@ -243,6 +255,7 @@ void Node::build() {
     ic.tcp_shards = tcp_shards;
     ic.udp_shards = udp_shards;
     ic.gro = cfg_.gro;
+    ic.rx_queues = rx_queues;
     auto ip = std::make_unique<servers::IpServer>(&env_, fresh_core("ip"),
                                                   ic);
     ip_ = ip.get();
@@ -255,10 +268,22 @@ void Node::build() {
     // dies as one unit and takes its own storage/pool context with it.
     topts.checkpoint = cfg_.tcp_checkpoint;
     topts.ckpt_watermark = cfg_.tcp_ckpt_watermark;
+    // The per-shard receive context the drivers post to directly when the
+    // NICs run multiple RSS queues.
+    net::IpFastPath::Config fpc;
+    fpc.interfaces = ip_cfg.interfaces;
+    fpc.use_pf = cfg_.use_pf;
+    fpc.gro = cfg_.gro;
+    std::vector<std::string> driver_names;
+    if (rss_fast && !inline_drivers) {
+      for (int i = 0; i < cfg_.nics; ++i)
+        driver_names.push_back(servers::driver_name(i));
+    }
     for (int s = 0; s < tcp_shards; ++s) {
       const std::string name = servers::tcp_shard_name(s);
       auto tcp = std::make_unique<servers::TcpServer>(
           &env_, fresh_core(name), topts, src_for, s, tcp_shards);
+      if (!driver_names.empty()) tcp->enable_rx_fastpath(fpc, driver_names);
       tcp_shards_.push_back(tcp.get());
       servers_.emplace(name, std::move(tcp));
       boot_order_.push_back(name);
@@ -268,6 +293,7 @@ void Node::build() {
       const std::string name = servers::udp_shard_name(s);
       auto udp = std::make_unique<servers::UdpServer>(
           &env_, fresh_core(name), src_for, s, udp_shards);
+      if (!driver_names.empty()) udp->enable_rx_fastpath(fpc, driver_names);
       udp_shards_.push_back(udp.get());
       servers_.emplace(name, std::move(udp));
       boot_order_.push_back(name);
@@ -339,6 +365,9 @@ std::uint64_t Node::publish_channel_stats() {
   // The drop/defer policy's other blind spot: frames the drivers had to
   // drop because IP's queue was full.  Counted per driver and in total.
   std::uint64_t rx_dropped = 0;
+  std::uint64_t rx_fast = 0;
+  std::map<int, std::array<std::uint64_t, 4>> per_queue;
+  int max_queues = 1;
   for (const auto& [name, srv] : servers_) {
     auto* drv = dynamic_cast<servers::DriverServer*>(srv.get());
     if (drv == nullptr) continue;
@@ -346,8 +375,47 @@ std::uint64_t Node::publish_channel_stats() {
       stats_.set(name + ".rx_dropped", drv->rx_dropped());
     }
     rx_dropped += drv->rx_dropped();
+    rx_fast += drv->rx_fast_frames();
+    // Per-queue RSS counters, aggregated across the NICs: queue q of every
+    // NIC homes on the same transport shard, so the per-queue totals are
+    // the per-shard receive load.
+    max_queues = std::max(max_queues, drv->nic().rx_queue_count());
+    for (int q = 0; q < drv->nic().rx_queue_count(); ++q) {
+      const auto& qs = drv->nic().queue_stats(q);
+      auto& agg = per_queue[q];
+      agg[0] += qs.rx_frames;
+      agg[1] += qs.rx_bursts;
+      agg[2] += qs.rx_timer_flushes;
+      agg[3] += drv->rx_dropped_queue(q);
+    }
   }
   stats_.set("drv.rx_dropped", rx_dropped);
+  if (max_queues > 1) {
+    stats_.set("drv.rx_fast_frames", rx_fast);
+    for (const auto& [q, agg] : per_queue) {
+      const std::string prefix = "drv.q" + std::to_string(q) + ".";
+      stats_.set(prefix + "rx_frames", agg[0]);
+      stats_.set(prefix + "rx_bursts", agg[1]);
+      stats_.set(prefix + "rx_timer_flushes", agg[2]);
+      stats_.set(prefix + "rx_dropped", agg[3]);
+    }
+    // The receiving half of the same picture: frames each shard's fast
+    // path consumed locally vs handed back to the classic IP path.
+    for (const auto* tcp : tcp_shards_) {
+      if (tcp->fastpath() == nullptr) continue;
+      stats_.set(tcp->name() + ".rx_fast_frames",
+                 tcp->fastpath()->stats().fast_frames);
+      stats_.set(tcp->name() + ".rx_fallback_frames",
+                 tcp->fastpath()->stats().fallback_frames);
+    }
+    for (const auto* udp : udp_shards_) {
+      if (udp->fastpath() == nullptr) continue;
+      stats_.set(udp->name() + ".rx_fast_frames",
+                 udp->fastpath()->stats().fast_frames);
+      stats_.set(udp->name() + ".rx_fallback_frames",
+                 udp->fastpath()->stats().fallback_frames);
+    }
+  }
   // Connection-checkpoint overhead (0 with tcp_checkpoint off): journal
   // puts to the storage server and the bytes they carried.
   std::uint64_t ckpt_puts = 0;

@@ -63,6 +63,7 @@ Testbed::Testbed(const TestbedOptions& opts) {
   left.rx_coalesce_frames = opts.rx_coalesce_frames;
   left.rx_coalesce_usecs = opts.rx_coalesce_usecs;
   left.gro = opts.gro;
+  left.rx_queues = opts.rx_queues;
   left.tcp_checkpoint = opts.tcp_checkpoint;
   left.tcp_ckpt_watermark = opts.tcp_ckpt_watermark;
   left.work_probes = opts.work_probes;

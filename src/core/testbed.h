@@ -32,6 +32,9 @@ struct TestbedOptions {
   int rx_coalesce_frames = 0;
   std::uint32_t rx_coalesce_usecs = 50;
   bool gro = false;
+  // Multi-queue NIC RSS on the system under test (default 1: the classic
+  // single-queue RX path, byte for byte).
+  int rx_queues = 1;
   // Transparent TCP recovery on the system under test (default off: the
   // Table I trade-off — established connections die with the TCP server).
   bool tcp_checkpoint = false;

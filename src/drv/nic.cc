@@ -1,16 +1,65 @@
 #include "src/drv/nic.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
 #include "src/net/checksum.h"
 #include "src/net/headers.h"
+#include "src/net/steering.h"
 
 namespace newtos::drv {
 
 SimNic::SimNic(sim::Simulator& sim, chan::PoolRegistry& pools,
                net::MacAddr mac, Config cfg)
-    : sim_(sim), pools_(pools), mac_(mac), cfg_(cfg) {}
+    : sim_(sim), pools_(pools), mac_(mac), cfg_(cfg) {
+  num_queues_ = std::max(1, cfg_.rx_queues);
+  rx_rings_.resize(num_queues_);
+  rx_accums_.resize(num_queues_);
+  rx_timer_gens_.resize(num_queues_, 0);
+  qstats_.resize(num_queues_);
+}
+
+// The hash unit's shallow parse: no checksum verification, no payload walk —
+// just the fixed-offset fields a real RSS engine reads.  A frame whose IP
+// total_length cannot cover the L4 ports (a fragment/truncation) is not
+// steerable; neither is anything that is not IPv4 TCP/UDP.
+SimNic::RssInfo SimNic::rss_classify(std::span<const std::byte> bytes) {
+  RssInfo info;
+  constexpr std::size_t kL4Off = net::kEthHeaderLen + net::kIpHeaderLen;
+  if (bytes.size() < kL4Off + 4) return info;
+  auto u8 = [&bytes](std::size_t i) {
+    return std::to_integer<std::uint8_t>(bytes[i]);
+  };
+  const std::uint16_t ethertype =
+      static_cast<std::uint16_t>((u8(12) << 8) | u8(13));
+  if (ethertype != net::kEtherTypeIpv4) return info;
+  if (u8(net::kEthHeaderLen) != 0x45) return info;  // version/IHL: no options
+  const std::uint8_t proto = u8(net::kEthHeaderLen + 9);
+  if (proto != net::kProtoTcp && proto != net::kProtoUdp) return info;
+  const std::uint16_t total_length = static_cast<std::uint16_t>(
+      (u8(net::kEthHeaderLen + 2) << 8) | u8(net::kEthHeaderLen + 3));
+  if (total_length < net::kIpHeaderLen + 4) return info;  // ports truncated
+  if (total_length > bytes.size() - net::kEthHeaderLen) return info;
+  net::Ipv4Addr src;
+  net::Ipv4Addr dst;
+  src.value = (static_cast<std::uint32_t>(u8(net::kEthHeaderLen + 12)) << 24) |
+              (static_cast<std::uint32_t>(u8(net::kEthHeaderLen + 13)) << 16) |
+              (static_cast<std::uint32_t>(u8(net::kEthHeaderLen + 14)) << 8) |
+              u8(net::kEthHeaderLen + 15);
+  dst.value = (static_cast<std::uint32_t>(u8(net::kEthHeaderLen + 16)) << 24) |
+              (static_cast<std::uint32_t>(u8(net::kEthHeaderLen + 17)) << 16) |
+              (static_cast<std::uint32_t>(u8(net::kEthHeaderLen + 18)) << 8) |
+              u8(net::kEthHeaderLen + 19);
+  const std::uint16_t sport =
+      static_cast<std::uint16_t>((u8(kL4Off) << 8) | u8(kL4Off + 1));
+  const std::uint16_t dport =
+      static_cast<std::uint16_t>((u8(kL4Off + 2) << 8) | u8(kL4Off + 3));
+  info.steerable = true;
+  info.proto = proto;
+  info.hash = net::flow_hash(src, dst, sport, dport);
+  return info;
+}
 
 void SimNic::attach_wire(Wire* wire, int end) {
   wire_ = wire;
@@ -31,10 +80,23 @@ bool SimNic::tx_post(net::TxFrame frame, std::uint64_t cookie) {
   return true;
 }
 
-bool SimNic::rx_post(chan::RichPtr buffer) {
-  if (static_cast<int>(rx_ring_.size()) >= cfg_.rx_ring) return false;
-  rx_ring_.push_back(buffer);
+bool SimNic::rx_post(int queue, chan::RichPtr buffer) {
+  if (queue < 0 || queue >= num_queues_) return false;
+  auto& ring = rx_rings_[queue];
+  if (static_cast<int>(ring.size()) >= cfg_.rx_ring) return false;
+  ring.push_back(buffer);
   return true;
+}
+
+int SimNic::rx_ring_level() const {
+  int n = 0;
+  for (const auto& ring : rx_rings_) n += static_cast<int>(ring.size());
+  return n;
+}
+
+int SimNic::rx_ring_level(int queue) const {
+  if (queue < 0 || queue >= num_queues_) return 0;
+  return static_cast<int>(rx_rings_[queue].size());
 }
 
 void SimNic::pump_tx() {
@@ -157,12 +219,21 @@ void SimNic::wire_deliver(std::vector<std::byte>&& bytes) {
     dst.bytes[i] = std::to_integer<std::uint8_t>(bytes[i]);
   if (dst != mac_ && !dst.is_broadcast()) return;
 
-  if (rx_ring_.empty()) {
+  // RSS: the hash unit picks the queue for steerable frames; everything
+  // else (and the whole single-queue device) stays on queue 0.
+  const RssInfo rss = rss_classify(bytes);
+  const int queue =
+      (num_queues_ > 1 && rss.steerable)
+          ? static_cast<int>(rss.hash % static_cast<std::uint32_t>(num_queues_))
+          : 0;
+  auto& ring = rx_rings_[queue];
+  if (ring.empty()) {
     ++stats_.rx_no_buffer;
+    ++qstats_[queue].rx_no_buffer;
     return;
   }
-  chan::RichPtr buf = rx_ring_.front();
-  rx_ring_.pop_front();
+  chan::RichPtr buf = ring.front();
+  ring.pop_front();
   chan::Pool* pool = pools_.find(buf.pool);
   if (pool == nullptr || bytes.size() > buf.length ||
       !pool->dma_write(buf, bytes)) {
@@ -170,51 +241,65 @@ void SimNic::wire_deliver(std::vector<std::byte>&& bytes) {
     return;
   }
   ++stats_.rx_frames;
+  ++qstats_[queue].rx_frames;
+  RxCompletion completion{buf, static_cast<std::uint32_t>(bytes.size()),
+                          rss.hash, static_cast<std::uint16_t>(queue),
+                          rss.steerable, rss.proto};
   if (coalescing() && on_rx_burst_) {
     // Interrupt coalescing: park the completed descriptor; the interrupt
     // fires when the burst threshold is met or the hold-off timer expires,
-    // whichever is first.
-    rx_accum_.push_back(
-        RxCompletion{buf, static_cast<std::uint32_t>(bytes.size())});
-    if (static_cast<int>(rx_accum_.size()) >= cfg_.rx_coalesce_frames) {
-      flush_rx_burst(false);
+    // whichever is first.  Each queue accumulates and times out on its own.
+    auto& accum = rx_accums_[queue];
+    accum.push_back(completion);
+    if (static_cast<int>(accum.size()) >= cfg_.rx_coalesce_frames) {
+      flush_rx_burst(queue, false);
       return;
     }
-    if (rx_accum_.size() == 1) {
-      const std::uint64_t gen = ++rx_timer_gen_;
+    if (accum.size() == 1) {
+      const std::uint64_t gen = ++rx_timer_gens_[queue];
       const std::uint32_t epoch = reset_epoch_;
       sim_.after(static_cast<sim::Time>(cfg_.rx_coalesce_usecs) *
                      sim::kMicrosecond,
-                 [this, gen, epoch] {
-                   if (epoch != reset_epoch_ || gen != rx_timer_gen_) return;
-                   flush_rx_burst(true);
+                 [this, queue, gen, epoch] {
+                   if (epoch != reset_epoch_ || gen != rx_timer_gens_[queue])
+                     return;
+                   flush_rx_burst(queue, true);
                  });
     }
+    return;
+  }
+  if (on_rx_frame_) {
+    on_rx_frame_(queue, completion);
     return;
   }
   if (on_rx_) on_rx_(buf, static_cast<std::uint32_t>(bytes.size()));
 }
 
-void SimNic::flush_rx_burst(bool timer_expired) {
-  if (rx_accum_.empty()) return;
-  ++rx_timer_gen_;  // cancel the armed hold-off timer, if any
+void SimNic::flush_rx_burst(int queue, bool timer_expired) {
+  auto& accum = rx_accums_[queue];
+  if (accum.empty()) return;
+  ++rx_timer_gens_[queue];  // cancel the armed hold-off timer, if any
   ++stats_.rx_bursts;
-  if (timer_expired) ++stats_.rx_timer_flushes;
+  ++qstats_[queue].rx_bursts;
+  if (timer_expired) {
+    ++stats_.rx_timer_flushes;
+    ++qstats_[queue].rx_timer_flushes;
+  }
   std::vector<RxCompletion> burst;
-  burst.swap(rx_accum_);
-  if (on_rx_burst_) on_rx_burst_(std::move(burst));
+  burst.swap(accum);
+  if (on_rx_burst_) on_rx_burst_(queue, std::move(burst));
 }
 
 void SimNic::reset() {
   ++stats_.resets;
   ++reset_epoch_;
   tx_ring_.clear();  // shadow descriptors are gone; completions never fire
-  rx_ring_.clear();
+  for (auto& ring : rx_rings_) ring.clear();
   // Coalesced-but-unraised completions die with the rings: like the posted
   // RX buffers above, the chunks belong to IP's pool and are recovered when
   // IP reposts after the link comes back.
-  rx_accum_.clear();
-  ++rx_timer_gen_;
+  for (auto& accum : rx_accums_) accum.clear();
+  for (auto& gen : rx_timer_gens_) ++gen;
   tx_pumping_ = false;
   wedged_ = false;  // reconfiguration clears a misconfigured device
   if (link_up_) {

@@ -4,6 +4,14 @@
 // for Section V-D — no way to invalidate its shadow descriptors short of a
 // full reset, which takes the link down for a while ("a crash of IP means
 // de facto restart of the network drivers too").
+//
+// With rx_queues > 1 the device grows multiple RX queue pairs with
+// receive-side scaling: a hardware hash unit computes the 4-tuple flow hash
+// (identical to net/steering.h::flow_hash, so a queue maps 1:1 onto a
+// transport shard) and spreads steerable TCP/UDP frames across the queues.
+// Non-steerable traffic (ARP, ICMP, fragments, unknown protocols) always
+// lands on queue 0.  rx_queues = 1 keeps the classic single-queue device
+// byte-identical to what it always was.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +41,10 @@ class SimNic {
     // frames (the default) keep the classic one-interrupt-per-frame device.
     int rx_coalesce_frames = 0;
     std::uint32_t rx_coalesce_usecs = 50;
+    // RSS queue pairs.  Each queue has its own descriptor ring, coalescing
+    // accumulator and hold-off timer; 1 (the default) is the classic
+    // single-queue device.
+    int rx_queues = 1;
     sim::Time reset_link_delay = 1500 * sim::kMillisecond;
   };
 
@@ -48,10 +60,32 @@ class SimNic {
     std::uint64_t resets = 0;
   };
 
+  // Per-RX-queue slice of the receive counters (Stats keeps the totals).
+  struct QueueStats {
+    std::uint64_t rx_frames = 0;
+    std::uint64_t rx_bursts = 0;
+    std::uint64_t rx_timer_flushes = 0;
+    std::uint64_t rx_no_buffer = 0;
+  };
+
+  // What the RSS hash unit extracts from a frame on the wire.  A frame is
+  // steerable when it is well-formed IPv4 TCP/UDP with enough bytes to read
+  // the ports; everything else stays on queue 0 and the classic IP path.
+  struct RssInfo {
+    bool steerable = false;
+    std::uint8_t proto = 0;   // kProtoTcp or kProtoUdp when steerable
+    std::uint32_t hash = 0;   // net::flow_hash over the inbound 4-tuple
+  };
+  static RssInfo rss_classify(std::span<const std::byte> bytes);
+
   // One completed receive descriptor of a coalesced burst.
   struct RxCompletion {
     chan::RichPtr buffer;
     std::uint32_t len = 0;
+    std::uint32_t rss_hash = 0;   // valid when steerable
+    std::uint16_t queue = 0;
+    bool steerable = false;
+    std::uint8_t proto = 0;
   };
 
   SimNic(sim::Simulator& sim, chan::PoolRegistry& pools, net::MacAddr mac,
@@ -65,10 +99,16 @@ class SimNic {
   // --- driver-facing register interface ------------------------------------------
   using TxDoneFn = std::function<void(std::uint64_t cookie, bool ok)>;
   using RxFn = std::function<void(chan::RichPtr buffer, std::uint32_t len)>;
-  using RxBurstFn = std::function<void(std::vector<RxCompletion>&&)>;
+  using RxFrameFn = std::function<void(int queue, const RxCompletion&)>;
+  using RxBurstFn = std::function<void(int queue, std::vector<RxCompletion>&&)>;
   using LinkFn = std::function<void(bool up)>;
   void set_tx_done(TxDoneFn fn) { on_tx_done_ = std::move(fn); }
   void set_rx(RxFn fn) { on_rx_ = std::move(fn); }
+  // Queue-aware per-frame interrupt handler; takes precedence over the
+  // legacy set_rx() handler when installed (multi-queue drivers need the
+  // queue index and the RSS metadata; the single-queue combined stack and
+  // the classic driver keep the old signature).
+  void set_rx_frame(RxFrameFn fn) { on_rx_frame_ = std::move(fn); }
   // Burst interrupt handler; used only when coalescing() is enabled (the
   // per-frame handler stays the fallback so the default device is
   // byte-identical to what it always was).
@@ -76,17 +116,21 @@ class SimNic {
   void set_link_change(LinkFn fn) { on_link_ = std::move(fn); }
 
   bool coalescing() const { return cfg_.rx_coalesce_frames > 1; }
+  int rx_queue_count() const { return num_queues_; }
   const Config& config() const { return cfg_; }
 
   // Posts a frame descriptor; false when the TX ring is full.
   bool tx_post(net::TxFrame frame, std::uint64_t cookie);
   // Hands the device a receive buffer; false when the RX ring is full.
-  bool rx_post(chan::RichPtr buffer);
+  // The single-argument form feeds queue 0 (the classic device).
+  bool rx_post(chan::RichPtr buffer) { return rx_post(0, buffer); }
+  bool rx_post(int queue, chan::RichPtr buffer);
 
   int tx_ring_free() const {
     return cfg_.tx_ring - static_cast<int>(tx_ring_.size());
   }
-  int rx_ring_level() const { return static_cast<int>(rx_ring_.size()); }
+  int rx_ring_level() const;            // all queues
+  int rx_ring_level(int queue) const;
 
   // Full device reset: rings are dropped (shadow descriptors cannot be
   // invalidated selectively), pending TX completions are lost, and the link
@@ -100,6 +144,7 @@ class SimNic {
   bool wedged() const { return wedged_; }
 
   const Stats& stats() const { return stats_; }
+  const QueueStats& queue_stats(int queue) const { return qstats_[queue]; }
 
  private:
   struct TxEntry {
@@ -110,7 +155,7 @@ class SimNic {
   void pump_tx();
   void emit(std::vector<std::byte>&& bytes);
   void wire_deliver(std::vector<std::byte>&& bytes);
-  void flush_rx_burst(bool timer_expired);
+  void flush_rx_burst(int queue, bool timer_expired);
   std::vector<std::vector<std::byte>> tso_split(
       const std::vector<std::byte>& super, std::uint16_t mss) const;
 
@@ -118,6 +163,7 @@ class SimNic {
   chan::PoolRegistry& pools_;
   net::MacAddr mac_;
   Config cfg_;
+  int num_queues_ = 1;
   Wire* wire_ = nullptr;
   int wire_end_ = 0;
   bool link_up_ = true;
@@ -125,18 +171,20 @@ class SimNic {
   std::uint32_t reset_epoch_ = 0;
 
   std::deque<TxEntry> tx_ring_;
-  std::deque<chan::RichPtr> rx_ring_;
+  std::vector<std::deque<chan::RichPtr>> rx_rings_;  // one per queue
   bool tx_pumping_ = false;
 
-  // Completed RX descriptors waiting for the coalesced interrupt.
-  std::vector<RxCompletion> rx_accum_;
-  std::uint64_t rx_timer_gen_ = 0;  // invalidates the armed RADV timer
+  // Completed RX descriptors waiting for the coalesced interrupt, per queue.
+  std::vector<std::vector<RxCompletion>> rx_accums_;
+  std::vector<std::uint64_t> rx_timer_gens_;  // invalidate armed RADV timers
 
   TxDoneFn on_tx_done_;
   RxFn on_rx_;
+  RxFrameFn on_rx_frame_;
   RxBurstFn on_rx_burst_;
   LinkFn on_link_;
   Stats stats_;
+  std::vector<QueueStats> qstats_;
 };
 
 }  // namespace newtos::drv

@@ -1,0 +1,74 @@
+// Receive-side aggregation (GRO) classification, shared between the central
+// IP engine's input_burst and the per-shard RX fast path.
+//
+// The per-frame facts GRO needs to decide mergeability, parsed once per
+// frame of a burst; ineligible frames re-parse on the classic input() path
+// (they are the rare case by construction of the burst).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/net/addr.h"
+#include "src/net/headers.h"
+
+namespace newtos::net {
+
+struct GroInfo {
+  bool eligible = false;        // in-order-mergeable TCP data segment
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  std::uint32_t seq = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t l4_offset = 0;
+  std::uint16_t l4_length = 0;
+  std::uint16_t payload_len = 0;
+};
+
+inline GroInfo gro_classify(std::span<const std::byte> bytes,
+                            Ipv4Addr our_addr) {
+  GroInfo info;
+  if (bytes.size() < kEthHeaderLen + kIpHeaderLen) return info;
+  ByteReader r{bytes};
+  auto eth = EthHeader::parse(r);
+  if (!eth || eth->ethertype != kEtherTypeIpv4) return info;
+  auto ip = Ipv4Header::parse(r);
+  if (!ip || ip->protocol != kProtoTcp || ip->dst != our_addr) return info;
+  if (ip->total_length > bytes.size() - kEthHeaderLen) return info;
+  const std::uint16_t l4_offset =
+      static_cast<std::uint16_t>(kEthHeaderLen + kIpHeaderLen);
+  const std::uint16_t l4_length =
+      static_cast<std::uint16_t>(ip->total_length - kIpHeaderLen);
+  if (l4_length < kTcpHeaderLen ||
+      bytes.size() < static_cast<std::size_t>(l4_offset) + kTcpHeaderLen) {
+    return info;
+  }
+  ByteReader tr{bytes.subspan(l4_offset, kTcpHeaderLen)};
+  auto h = TcpHeader::parse(tr);
+  if (!h) return info;
+  const std::uint16_t payload =
+      static_cast<std::uint16_t>(l4_length - kTcpHeaderLen);
+  // Only plain in-stream data merges: SYN/FIN/RST (and anything else
+  // exotic) must be seen by TCP one segment at a time, and a pure ACK
+  // carries sender-clocking information per frame.
+  if (payload == 0 ||
+      (h->flags & ~(tcpflag::kAck | tcpflag::kPsh)) != 0 ||
+      !h->has(tcpflag::kAck)) {
+    return info;
+  }
+  info.eligible = true;
+  info.src = ip->src;
+  info.dst = ip->dst;
+  info.sport = h->src_port;
+  info.dport = h->dst_port;
+  info.seq = h->seq;
+  info.flags = h->flags;
+  info.l4_offset = l4_offset;
+  info.l4_length = l4_length;
+  info.payload_len = payload;
+  return info;
+}
+
+}  // namespace newtos::net

@@ -1,11 +1,16 @@
 #include "src/servers/driver_server.h"
 
+#include <algorithm>
+#include <span>
+
+#include "src/net/headers.h"
 #include "src/net/pbuf.h"
 
 namespace newtos::servers {
 
 void DriverServer::forward_rx_frame(const chan::RichPtr& buf,
-                                    std::uint32_t len, sim::Context& ctx) {
+                                    std::uint32_t len, sim::Context& ctx,
+                                    int queue) {
   chan::Message m;
   m.opcode = kDrvRx;
   m.ptr = buf;
@@ -17,6 +22,7 @@ void DriverServer::forward_rx_frame(const chan::RichPtr& buf,
     // buffers.  Not silent any more: the drop is counted and surfaced
     // through Node::publish_channel_stats.
     ++rx_dropped_;
+    if (queue < static_cast<int>(rx_dropped_q_.size())) ++rx_dropped_q_[queue];
   }
 }
 
@@ -25,12 +31,133 @@ DriverServer::DriverServer(NodeEnv* env, sim::SimCore* core, drv::SimNic* nic,
     : Server(env, driver_name(ifindex), core),
       nic_(nic),
       ifindex_(ifindex),
-      ip_name_(std::move(ip_name)) {}
+      ip_name_(std::move(ip_name)) {
+  rx_dropped_q_.resize(nic_->rx_queue_count(), 0);
+}
+
+void DriverServer::enable_fast_path(int tcp_shards, int udp_shards) {
+  fast_path_ = true;
+  tcp_shards_ = std::max(1, tcp_shards);
+  udp_shards_ = std::max(1, udp_shards);
+}
+
+std::string DriverServer::fast_target(const drv::SimNic::RxCompletion& c,
+                                      int queue) const {
+  if (!fast_path_ || !c.steerable) return {};
+  // A frame goes fast only when its home shard IS the queue's shard: the
+  // NIC hash and steer_shard agree by construction, so with rx_queues ==
+  // shards every steerable frame qualifies; with fewer queues the rest
+  // keeps the classic path (and rx_queues = 1 means nothing ever does).
+  if (c.proto == net::kProtoTcp) {
+    const int shard =
+        static_cast<int>(c.rss_hash % static_cast<std::uint32_t>(tcp_shards_));
+    return shard == queue ? tcp_shard_name(shard) : std::string{};
+  }
+  const int shard =
+      static_cast<int>(c.rss_hash % static_cast<std::uint32_t>(udp_shards_));
+  return shard == queue ? udp_shard_name(shard) : std::string{};
+}
+
+void DriverServer::send_rx_credit(std::size_t frames, sim::Context& ctx) {
+  if (frames == 0) return;
+  // Fast-path frames consumed RX buffers IP never saw: tell it how many so
+  // it keeps the rings fed.  If IP is down the posted-count reset on its
+  // restart covers the difference.
+  chan::Message m;
+  m.opcode = kDrvRxCredit;
+  m.arg0 = frames;
+  send_to(ip_name_, m, ctx);
+}
+
+void DriverServer::send_run_to_ip(
+    std::span<const drv::SimNic::RxCompletion> run, sim::Context& ctx,
+    int queue) {
+  if (run.empty()) return;
+  if (burst_pool_ == nullptr) {
+    for (const auto& c : run) forward_rx_frame(c.buffer, c.len, ctx, queue);
+    return;
+  }
+  std::vector<WireRxFrame> recs;
+  recs.reserve(run.size());
+  for (const auto& c : run) {
+    WireRxFrame rec;
+    rec.frame = c.buffer;
+    rec.frame.length = c.len;
+    recs.push_back(rec);
+  }
+  chan::RichPtr desc = pack_records<WireRxFrame>(*burst_pool_, recs);
+  if (!desc.valid()) {
+    // Descriptor pool exhausted: degrade to per-frame messages rather than
+    // dropping a whole burst.
+    for (const auto& c : run) forward_rx_frame(c.buffer, c.len, ctx, queue);
+    return;
+  }
+  chan::Message m;
+  m.opcode = kDrvRxBurst;
+  m.ptr = desc;
+  m.arg0 = recs.size();
+  ++rx_msgs_;
+  if (!send_to(ip_name_, m, ctx)) {
+    rx_dropped_ += recs.size();
+    if (queue < static_cast<int>(rx_dropped_q_.size()))
+      rx_dropped_q_[queue] += recs.size();
+    burst_pool_->release(desc);
+  }
+}
+
+std::size_t DriverServer::send_run_fast(
+    const std::string& target, std::span<const drv::SimNic::RxCompletion> run,
+    sim::Context& ctx, int queue) {
+  if (run.empty() || burst_pool_ == nullptr) {
+    send_run_to_ip(run, ctx, queue);
+    return 0;
+  }
+  std::vector<WireRxFrame> recs;
+  recs.reserve(run.size());
+  for (const auto& c : run) {
+    WireRxFrame rec;
+    rec.frame = c.buffer;
+    rec.frame.length = c.len;
+    recs.push_back(rec);
+  }
+  chan::RichPtr desc = pack_records<WireRxFrame>(*burst_pool_, recs);
+  if (!desc.valid()) {
+    for (const auto& c : run) forward_rx_frame(c.buffer, c.len, ctx, queue);
+    return 0;
+  }
+  chan::Message m;
+  m.opcode = kDrvRxFast;
+  m.ptr = desc;
+  m.arg0 = recs.size();
+  m.arg1 = static_cast<std::uint64_t>(ifindex_);
+  ++rx_msgs_;
+  if (!send_to(target, m, ctx)) {
+    // The replica is down or backlogged (reincarnation in progress): its
+    // queue drains through the classic IP path until it is back.
+    burst_pool_->release(desc);
+    send_run_to_ip(run, ctx, queue);
+    return 0;
+  }
+  rx_fast_frames_ += recs.size();
+  // The frame references are now on loan to the replica: if it dies with
+  // the message still queued, IP's reclaim on the replica's restart
+  // recovers them (the replica note_returns each frame as it unpacks).
+  const char proto = run.front().proto == net::kProtoUdp ? 'U' : 'T';
+  for (const auto& c : run) {
+    chan::Pool* pool = env().pools->find(c.buffer.pool);
+    if (pool != nullptr) pool->note_borrow(c.buffer, transport_borrower(proto, queue));
+  }
+  return recs.size();
+}
 
 void DriverServer::start(bool restart) {
   expose_in_queue(ip_name_, 512);
   connect_out(ip_name_);
-  if (nic_->coalescing()) {
+  if (fast_path_) {
+    for (int s = 0; s < tcp_shards_; ++s) connect_out(tcp_shard_name(s));
+    for (int s = 0; s < udp_shards_; ++s) connect_out(udp_shard_name(s));
+  }
+  if (nic_->coalescing() || fast_path_) {
     burst_pool_ = env().get_pool(name() + ".buf", 1u << 20);
   }
   install_device_handlers();
@@ -69,45 +196,60 @@ void DriverServer::install_device_handlers() {
         },
         100);
   });
-  nic_->set_rx_burst([this, inc](std::vector<drv::SimNic::RxCompletion>&&
+  if (fast_path_) {
+    // Multi-queue per-frame interrupts: the queue index and RSS metadata
+    // pick the target, one message either way.
+    nic_->set_rx_frame([this, inc](int queue,
+                                   const drv::SimNic::RxCompletion& c) {
+      if (incarnation() != inc) return;
+      post_kernel_msg(
+          [this, queue, c](sim::Context& ctx) {
+            charge(ctx, sim().costs().drv_packet_proc);
+            ++rx_frames_;
+            const std::string target = fast_target(c, queue);
+            if (target.empty()) {
+              forward_rx_frame(c.buffer, c.len, ctx, queue);
+              return;
+            }
+            std::span<const drv::SimNic::RxCompletion> run{&c, 1};
+            send_rx_credit(send_run_fast(target, run, ctx, queue), ctx);
+          },
+          100);
+    });
+  }
+  nic_->set_rx_burst([this, inc](int queue,
+                                 std::vector<drv::SimNic::RxCompletion>&&
                                      burst) {
     if (incarnation() != inc) return;
     // ONE kernel message per coalesced interrupt: the trap, the receive and
     // the mwait wakeup are amortized over the whole burst.  The per-frame
     // descriptor work is still charged per frame.
     post_kernel_msg(
-        [this, burst = std::move(burst)](sim::Context& ctx) {
+        [this, queue, burst = std::move(burst)](sim::Context& ctx) {
           charge(ctx, sim().costs().drv_packet_proc *
                           static_cast<sim::Cycles>(burst.size()));
           rx_frames_ += burst.size();
           ++rx_bursts_;
-          std::vector<WireRxFrame> recs;
-          recs.reserve(burst.size());
-          for (const auto& c : burst) {
-            WireRxFrame rec;
-            rec.frame = c.buffer;
-            rec.frame.length = c.len;
-            recs.push_back(rec);
+          // Split the burst into consecutive runs per target: the queue's
+          // home replica for fast-eligible frames, IP for the rest.  A
+          // single-target burst (every classic device) stays one message.
+          std::size_t fast = 0;
+          std::size_t i = 0;
+          while (i < burst.size()) {
+            const std::string target = fast_target(burst[i], queue);
+            std::size_t j = i + 1;
+            while (j < burst.size() && fast_target(burst[j], queue) == target)
+              ++j;
+            std::span<const drv::SimNic::RxCompletion> run{burst.data() + i,
+                                                           j - i};
+            if (target.empty()) {
+              send_run_to_ip(run, ctx, queue);
+            } else {
+              fast += send_run_fast(target, run, ctx, queue);
+            }
+            i = j;
           }
-          chan::RichPtr desc =
-              burst_pool_ != nullptr
-                  ? pack_records<WireRxFrame>(*burst_pool_, recs)
-                  : chan::RichPtr{};
-          if (!desc.valid()) {
-            // Descriptor pool exhausted: degrade to per-frame messages
-            // rather than dropping a whole burst.
-            for (const auto& c : burst) forward_rx_frame(c.buffer, c.len, ctx);
-            return;
-          }
-          chan::Message m;
-          m.opcode = kDrvRxBurst;
-          m.ptr = desc;
-          m.arg0 = recs.size();
-          ++rx_msgs_;
-          if (!send_to(ip_name_, m, ctx)) {
-            rx_dropped_ += recs.size();
-            burst_pool_->release(desc);
-          }
+          send_rx_credit(fast, ctx);
         },
         100);
   });
@@ -161,10 +303,18 @@ void DriverServer::on_message(const std::string& from, const chan::Message& m,
       nic_->tx_post(std::move(frame), m.req_id);
       return;
     }
-    case kDrvRxBuf:
+    case kDrvRxBuf: {
       charge(ctx, 80);
-      nic_->rx_post(m.ptr);
+      // Feed the emptiest queue ring: RSS load is hash-spread, so keeping
+      // the rings level keeps every queue fed.  Single-queue devices see
+      // exactly the old rx_post.
+      int best = 0;
+      for (int q = 1; q < nic_->rx_queue_count(); ++q) {
+        if (nic_->rx_ring_level(q) < nic_->rx_ring_level(best)) best = q;
+      }
+      nic_->rx_post(best, m.ptr);
       return;
+    }
     default:
       return;  // validate-and-ignore (Section IV-A)
   }

@@ -5,9 +5,17 @@
 // receive buffers into the RX ring.  It holds no recoverable state: a
 // restart resets the device (losing whatever was in the rings — IP
 // resubmits) and the link bounces.
+//
+// With multi-queue RSS enabled the driver polls each queue separately and
+// posts a queue's steerable frames straight to the queue's home transport
+// replica (kDrvRxFast), skipping the central IP hop; everything else — and
+// every frame when a replica is down — takes the classic kDrvRx/kDrvRxBurst
+// path through IP.
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "src/drv/nic.h"
 #include "src/servers/proto.h"
@@ -22,6 +30,11 @@ class DriverServer : public Server {
   DriverServer(NodeEnv* env, sim::SimCore* core, drv::SimNic* nic,
                int ifindex, std::string ip_name = kIpName);
 
+  // Turns on the RSS fast path: a queue's frames whose 4-tuple hash homes
+  // on the shard with the queue's index bypass IP.  Must be called before
+  // boot; a driver without this keeps the classic single-target RX path.
+  void enable_fast_path(int tcp_shards, int udp_shards);
+
   drv::SimNic& nic() { return *nic_; }
   int ifindex() const { return ifindex_; }
 
@@ -32,6 +45,13 @@ class DriverServer : public Server {
   std::uint64_t rx_bursts() const { return rx_bursts_; }
   // Frames dropped because IP's queue was full (or IP was down).
   std::uint64_t rx_dropped() const { return rx_dropped_; }
+  std::uint64_t rx_dropped_queue(int queue) const {
+    return queue < static_cast<int>(rx_dropped_q_.size())
+               ? rx_dropped_q_[queue]
+               : 0;
+  }
+  // Frames that took the RSS fast path straight to a transport replica.
+  std::uint64_t rx_fast_frames() const { return rx_fast_frames_; }
 
  protected:
   void start(bool restart) override;
@@ -45,18 +65,36 @@ class DriverServer : public Server {
   void install_device_handlers();
   void drain_backlog(sim::Context& ctx);
   void forward_rx_frame(const chan::RichPtr& buf, std::uint32_t len,
-                        sim::Context& ctx);
+                        sim::Context& ctx, int queue = 0);
+  // Home replica for a completion on `queue`; empty = classic IP path.
+  std::string fast_target(const drv::SimNic::RxCompletion& c,
+                          int queue) const;
+  // Sends `run` to IP as one kDrvRxBurst (per-frame degrade inside).
+  void send_run_to_ip(std::span<const drv::SimNic::RxCompletion> run,
+                      sim::Context& ctx, int queue);
+  // Sends `run` to `target` as one kDrvRxFast; returns the number of
+  // frames that actually went fast (0 = the run was degraded to IP).
+  std::size_t send_run_fast(const std::string& target,
+                            std::span<const drv::SimNic::RxCompletion> run,
+                            sim::Context& ctx, int queue);
+  void send_rx_credit(std::size_t frames, sim::Context& ctx);
 
   drv::SimNic* nic_;
   int ifindex_;
   std::string ip_name_;
+  bool fast_path_ = false;
+  int tcp_shards_ = 1;
+  int udp_shards_ = 1;
   // Staging pool for burst descriptors; created only when the device
-  // coalesces (the classic per-frame driver allocates nothing).
+  // coalesces or the fast path packs records (the classic per-frame driver
+  // allocates nothing).
   chan::Pool* burst_pool_ = nullptr;
   std::uint64_t rx_msgs_ = 0;
   std::uint64_t rx_frames_ = 0;
   std::uint64_t rx_bursts_ = 0;
   std::uint64_t rx_dropped_ = 0;
+  std::uint64_t rx_fast_frames_ = 0;
+  std::vector<std::uint64_t> rx_dropped_q_;
   // Frames waiting for TX ring slots.  The driver never blocks on a full
   // ring (Section IV-A); it buffers a bounded backlog and sheds beyond it.
   std::deque<std::pair<net::TxFrame, std::uint64_t>> tx_backlog_;

@@ -236,7 +236,8 @@ void IpServer::on_killed() {
 
 void IpServer::post_rx_buffers(int ifindex, sim::Context& ctx) {
   int& posted = posted_[ifindex];
-  while (posted < cfg_.rx_buffers_per_nic) {
+  const int target = cfg_.rx_buffers_per_nic * std::max(1, cfg_.rx_queues);
+  while (posted < target) {
     chan::RichPtr buf = rx_pool_->alloc(cfg_.rx_buf_size);
     if (!buf.valid()) return;
     chan::Message m;
@@ -328,6 +329,29 @@ void IpServer::on_message(const std::string& from, const chan::Message& m,
         for (const auto& f : frames) engine_->input(ifindex, f);
       }
       post_rx_buffers(ifindex, ctx);
+      return;
+    }
+    case kDrvRxCredit: {
+      // The driver fed this many RX buffers to fast-path frames we never
+      // saw: repost so the rings stay level.  No protocol work was done
+      // here — the shard paid it on its own core.
+      charge(ctx, 80);
+      const int ifindex = ifindex_of(from);
+      auto it = posted_.find(ifindex);
+      if (it != posted_.end()) {
+        it->second -= std::min<int>(it->second, static_cast<int>(m.arg0));
+      }
+      post_rx_buffers(ifindex, ctx);
+      return;
+    }
+    case kFastFallback: {
+      // A transport's fast path handed a frame back: run the classic input
+      // path verbatim.  The buffer credit was already granted by the
+      // driver, so posted_ bookkeeping stays untouched.
+      charge(ctx, costs.ip_packet_proc);
+      const int ifindex = static_cast<int>(m.arg1);
+      if (!cfg_.csum_offload) charge(ctx, costs.checksum_cost(m.ptr.length));
+      engine_->input(ifindex, m.ptr);
       return;
     }
     case kPfVerdictBatch: {
@@ -457,12 +481,22 @@ void IpServer::on_peer_down(const std::string& peer, sim::Context& ctx) {
     if (peer != tcp_shard_name(s)) continue;
     if (rx_pool_ != nullptr) {
       // The replica died and its queues were reset: frames an in-flight
-      // kL4RxAgg still referenced would strand without this.  Frames the
-      // replica had already unpacked were note_returned (and its rcvq was
-      // drained by its own teardown path), so only the dead messages'
-      // loans are on the ledger.  This runs before the restarted
-      // incarnation can receive anything, so no live loan is touched.
+      // kL4RxAgg or kDrvRxFast still referenced would strand without
+      // this.  Frames the replica had already unpacked were note_returned
+      // (and its rcvq was drained by its own teardown path), so only the
+      // dead messages' loans are on the ledger.  This runs before the
+      // restarted incarnation can receive anything, so no live loan is
+      // touched.
       rx_pool_->reclaim(transport_borrower('T', s));
+    }
+    return;
+  }
+  for (int s = 0; s < std::max(1, cfg_.udp_shards); ++s) {
+    if (peer != udp_shard_name(s)) continue;
+    if (rx_pool_ != nullptr) {
+      // UDP replicas borrow frames too once the RSS fast path posts
+      // kDrvRxFast straight to them; same reclaim discipline.
+      rx_pool_->reclaim(transport_borrower('U', s));
     }
     return;
   }

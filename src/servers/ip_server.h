@@ -34,6 +34,10 @@ class IpServer : public Server {
     // super-segment.  Off by default; meaningful only when the NIC
     // coalesces (kDrvRxBurst is the only producer of bursts).
     bool gro = false;
+    // RSS queue pairs per NIC.  IP posts rx_buffers_per_nic buffers per
+    // queue so every ring stays fed, and fast-path frames consumed by the
+    // transports come back as kDrvRxCredit instead of kDrvRx.
+    int rx_queues = 1;
   };
 
   IpServer(NodeEnv* env, sim::SimCore* core, Config cfg);

@@ -42,6 +42,24 @@ void PfServer::start(bool restart) {
 
 void PfServer::on_killed() { engine_.reset(); }
 
+void PfServer::broadcast_cache_inval(sim::Context& ctx) {
+  chan::Message m;
+  m.opcode = kPfCacheInval;
+  for (const auto& peer : transports_) send_to(peer, m, ctx);
+}
+
+void PfServer::apply_rules(std::vector<net::PfRule> rules) {
+  post_control([this, rules = std::move(rules)](sim::Context& ctx) mutable {
+    if (engine_ == nullptr) return;
+    engine_->set_rules(std::move(rules));
+    save_rules(ctx);
+    // Shard-local verdict caches are judging with the old rules until this
+    // lands; the broadcast must go out before any further verdict is
+    // cached against the new set.
+    broadcast_cache_inval(ctx);
+  });
+}
+
 void PfServer::save_rules(sim::Context& ctx) {
   const auto bytes = net::PfEngine::serialize_rules(engine_->rules());
   chan::RichPtr chunk =
@@ -81,7 +99,9 @@ void PfServer::on_message(const std::string& from, const chan::Message& m,
       r.opcode = kPfVerdict;
       r.req_id = m.req_id;
       r.arg0 = verdict.action == net::PfAction::Pass ? 1 : 0;
-      send_to(kIpName, r, ctx);
+      // The verdict goes back to whoever asked: historically always IP,
+      // now also any transport shard running the RSS fast path.
+      send_to(from, r, ctx);
       return;
     }
     case kPfCheckBatch: {
@@ -175,6 +195,9 @@ void PfServer::on_message(const std::string& from, const chan::Message& m,
       if (!restored) engine_->set_rules(initial_rules_);
       announce(true);
       request_conn_lists(ctx);
+      // A restarted PF cannot vouch for verdicts cached against the dead
+      // incarnation's rules.
+      broadcast_cache_inval(ctx);
       return;
     }
     default:

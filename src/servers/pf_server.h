@@ -26,6 +26,11 @@ class PfServer : public Server {
 
   net::PfEngine* engine() { return engine_.get(); }
 
+  // Replaces the live rule set: persists it and broadcasts kPfCacheInval so
+  // every shard-local verdict cache drops its now-stale entries before the
+  // next frame is judged.
+  void apply_rules(std::vector<net::PfRule> rules);
+
  protected:
   void start(bool restart) override;
   void on_message(const std::string& from, const chan::Message& m,
@@ -37,6 +42,7 @@ class PfServer : public Server {
  private:
   void save_rules(sim::Context& ctx);
   void request_conn_lists(sim::Context& ctx);
+  void broadcast_cache_inval(sim::Context& ctx);
 
   std::vector<net::PfRule> initial_rules_;
   std::vector<std::string> transports_;

@@ -54,6 +54,8 @@ enum Opcode : std::uint16_t {
   kPfCheckBatch,  // ptr=packed WirePfQuery array; arg0=count.  All verdicts
                   // of one RX burst travel as one message pair.
   kPfVerdictBatch,  // ptr=packed WirePfVerdict array; arg0=count
+  kPfCacheInval,    // PF -> transports broadcast: shard-local verdict caches
+                    // are stale (rule change or PF restart); no payload.
 
   // --- IP <-> drivers -------------------------------------------------------------
   kDrvTx = 40,    // ptr=packed chain; req_id=cookie
@@ -65,6 +67,16 @@ enum Opcode : std::uint16_t {
                   // arg0=frame count.  IP dequeues once per burst; the
                   // per-frame protocol costs still apply, the per-frame IPC
                   // costs do not.
+  kDrvRxFast,     // driver -> transport shard (RSS fast path): ptr=packed
+                  // WireRxFrame array; arg0=frame count; arg1=ifindex.  The
+                  // frames skip the central IP server; the shard runs the
+                  // hoisted per-shard IP RX context on them.
+  kDrvRxCredit,   // driver -> IP: arg0=buffers consumed by fast-path frames
+                  // (IP reposts; the frames themselves never passed through
+                  // IP, so kDrvRx/kDrvRxBurst bookkeeping does not fire).
+  kFastFallback,  // transport -> IP: ptr=frame; arg1=ifindex.  A frame the
+                  // per-shard fast path cannot handle (not for our address,
+                  // malformed, ICMP, ...) rejoins the classic IP input path.
 
   // --- socket control (apps / SYSCALL -> transports) --------------------------------
   kSockOpen = 60,   // arg0=reply tag

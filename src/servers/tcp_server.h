@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/net/ip_fastpath.h"
 #include "src/net/tcp.h"
 #include "src/servers/checkpoint.h"
 #include "src/servers/proto.h"
@@ -50,6 +51,15 @@ class TcpServer : public Server {
 
   net::TcpEngine* engine() { return engine_.get(); }
   int shard() const { return shard_; }
+
+  // Multi-queue RSS: this replica owns one NIC RX queue per driver and runs
+  // the hoisted IP receive work (src/net/ip_fastpath.h) on frames the
+  // drivers post directly (kDrvRxFast).  Must be called before boot.
+  void enable_rx_fastpath(net::IpFastPath::Config cfg,
+                          std::vector<std::string> driver_names);
+  // Fast-path statistics (null when the fast path is off), published as
+  // per-shard node stats and the bench's per-shard inbound frame count.
+  const net::IpFastPath* fastpath() const { return fastpath_.get(); }
 
   // Checkpoint overhead counters (0 with checkpointing off), published as
   // node stats "tcp.ckpt_puts" / "tcp.ckpt_bytes".
@@ -76,6 +86,7 @@ class TcpServer : public Server {
  private:
   void build_writer();
   void build_engine();
+  void build_fastpath();
   void save_listeners(sim::Context& ctx);
   bool is_sibling(const std::string& peer) const;
   // SO_REUSEPORT-style replication: pushes one listener record (or its
@@ -100,6 +111,11 @@ class TcpServer : public Server {
   std::vector<std::string> siblings_;
   std::unique_ptr<CheckpointWriter> writer_;  // before engine_: outlives it
   std::unique_ptr<net::TcpEngine> engine_;
+  // RSS fast path (null unless enable_rx_fastpath was called).
+  bool rx_fastpath_ = false;
+  net::IpFastPath::Config fastpath_cfg_;
+  std::vector<std::string> fastpath_drivers_;
+  std::unique_ptr<net::IpFastPath> fastpath_;
   chan::Pool* pool_ = nullptr;
   // kIpTx descriptors in flight; freed on kIpTxDone or IP restart.
   std::unordered_map<std::uint64_t, chan::RichPtr> tx_descs_;

@@ -75,6 +75,42 @@ void UdpServer::build_engine() {
   engine_ = std::make_unique<net::UdpEngine>(std::move(e));
 }
 
+void UdpServer::enable_rx_fastpath(net::IpFastPath::Config cfg,
+                                   std::vector<std::string> driver_names) {
+  rx_fastpath_ = true;
+  fastpath_cfg_ = std::move(cfg);
+  fastpath_cfg_.gro = false;  // GRO is a TCP-only merge
+  fastpath_drivers_ = std::move(driver_names);
+}
+
+void UdpServer::build_fastpath() {
+  net::IpFastPath::Env fe;
+  fe.pools = env().pools;
+  fe.deliver = [this](std::uint8_t, net::L4Packet&& pkt) {
+    // Same per-datagram charge as the kL4Rx leg.
+    if (in_handler()) charge(cur(), sim().costs().udp_packet_proc);
+    engine_->input(std::move(pkt));
+  };
+  fe.pf_check = [this](const net::PfQuery& q, std::uint64_t cookie) {
+    send_to(kPfName, make_pf_check(cookie, q), cur());
+  };
+  fe.fallback = [this](int ifindex, const chan::RichPtr& frame) {
+    chan::Message m;
+    m.opcode = kFastFallback;
+    m.ptr = frame;
+    m.arg1 = static_cast<std::uint64_t>(ifindex);
+    if (!send_to(kIpName, m, cur())) {
+      chan::Pool* p = env().pools->find(frame.pool);
+      if (p != nullptr) p->release(frame);
+    }
+  };
+  fe.release = [this](const chan::RichPtr& frame) {
+    chan::Pool* p = env().pools->find(frame.pool);
+    if (p != nullptr) p->release(frame);
+  };
+  fastpath_ = std::make_unique<net::IpFastPath>(std::move(fe), fastpath_cfg_);
+}
+
 void UdpServer::start(bool restart) {
   pool_ = env().get_pool(name() + ".buf", 8u << 20);
   for (const char* p : {kIpName, kStoreName, kPfName, kSyscallName}) {
@@ -85,7 +121,11 @@ void UdpServer::start(bool restart) {
     expose_in_queue(sib);
     connect_out(sib);
   }
+  if (rx_fastpath_) {
+    for (const auto& d : fastpath_drivers_) expose_in_queue(d, 512);
+  }
   build_engine();
+  if (rx_fastpath_) build_fastpath();
   if (restart) {
     post_control([this](sim::Context& ctx) {
       chan::Message m;
@@ -103,6 +143,7 @@ void UdpServer::on_killed() {
   // The dying process cannot send done-reports; queued receive frames go
   // straight back to their owning pool.  In-flight descriptors leak,
   // bounded per crash.
+  fastpath_.reset();  // held frames (pending PF verdicts) back to the pool
   drop_engine(engine_);
   pending_tx_.clear();
 }
@@ -230,6 +271,39 @@ void UdpServer::on_message(const std::string& from, const chan::Message& m,
       engine_->input(std::move(pkt));
       return;
     }
+    case kDrvRxFast: {
+      // RSS fast path: the hoisted IP work (validation, PF consultation) is
+      // paid here, on this shard's core, instead of on the central IP core.
+      const auto recs = parse_records<WireRxFrame>(env().pools->read(m.ptr));
+      charge(ctx, sim().costs().ip_packet_proc *
+                      static_cast<sim::Cycles>(recs.size()));
+      std::vector<chan::RichPtr> frames;
+      frames.reserve(recs.size());
+      for (const auto& rec : recs) {
+        chan::Pool* p = env().pools->find(rec.frame.pool);
+        if (p != nullptr) {
+          p->note_return(rec.frame, transport_borrower('U', shard_));
+        }
+        frames.push_back(rec.frame);
+      }
+      env().pools->release(m.ptr);  // driver's descriptor chunk
+      if (fastpath_) {
+        fastpath_->input_burst(static_cast<int>(m.arg1), frames);
+      } else {
+        for (const auto& f : frames) {
+          chan::Pool* p = env().pools->find(f.pool);
+          if (p != nullptr) p->release(f);
+        }
+      }
+      return;
+    }
+    case kPfVerdict:
+      charge(ctx, 120);
+      if (fastpath_) fastpath_->pf_verdict(m.req_id, m.arg0 != 0);
+      return;
+    case kPfCacheInval:
+      if (fastpath_) fastpath_->invalidate_cache();
+      return;
     case kIpTxDone: {
       auto it = pending_tx_.find(m.req_id);
       if (it != pending_tx_.end()) {
@@ -346,6 +420,12 @@ void UdpServer::on_peer_up(const std::string& peer, bool restarted,
   }
   if (peer == kStoreName && restarted) {
     save_sockets(ctx);
+    return;
+  }
+  if (peer == kPfName && fastpath_) {
+    // PF (re)appeared: unanswered fast-path queries died with the old
+    // incarnation — repeat them so the held frames drain.
+    fastpath_->resubmit_pf();
     return;
   }
   if (is_sibling(peer) && engine_) {

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/net/ip_fastpath.h"
 #include "src/net/udp.h"
 #include "src/servers/proto.h"
 #include "src/servers/server.h"
@@ -36,6 +37,14 @@ class UdpServer : public Server {
   net::UdpEngine* engine() { return engine_.get(); }
   int shard() const { return shard_; }
 
+  // Multi-queue RSS: this replica owns one NIC RX queue per driver and runs
+  // the hoisted IP receive work (src/net/ip_fastpath.h) on frames the
+  // drivers post directly (kDrvRxFast).  Must be called before boot.
+  void enable_rx_fastpath(net::IpFastPath::Config cfg,
+                          std::vector<std::string> driver_names);
+  // Fast-path statistics (null when the fast path is off).
+  const net::IpFastPath* fastpath() const { return fastpath_.get(); }
+
   // Socket control entry point shared by the channel path (on_message) and
   // the direct kernel-IPC path (Table II line 2).  `reply` delivers the
   // kSockReply message to the requester.
@@ -53,6 +62,7 @@ class UdpServer : public Server {
 
  private:
   void build_engine();
+  void build_fastpath();
   void save_sockets(sim::Context& ctx);
   bool is_sibling(const std::string& peer) const;
   // Pushes one socket record (or its removal) to every sibling replica /
@@ -66,6 +76,11 @@ class UdpServer : public Server {
   int shard_count_ = 1;
   std::vector<std::string> siblings_;
   std::unique_ptr<net::UdpEngine> engine_;
+  // RSS fast path (null unless enable_rx_fastpath was called).
+  bool rx_fastpath_ = false;
+  net::IpFastPath::Config fastpath_cfg_;
+  std::vector<std::string> fastpath_drivers_;
+  std::unique_ptr<net::IpFastPath> fastpath_;
   chan::Pool* pool_ = nullptr;
   struct PendingTx {
     chan::RichPtr desc;
