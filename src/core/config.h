@@ -85,6 +85,12 @@ struct NodeConfig {
   // one fault class heartbeats cannot see — is restarted automatically.
   // Default off: the paper's manual-restart behaviour stands.
   bool work_probes = false;
+  // Self-healing supervision plane (the escalation ladder of DESIGN.md):
+  // work probes to all five component classes, an EWMA-based probe-RTT SLO
+  // (slowdown detection), a driver-side NIC wedge watchdog, and restart
+  // budgets with exponential backoff.  Default off: every Table II/III/IV
+  // baseline is byte-identical; the paper's manual-restart behaviour stands.
+  bool supervision = false;
   // Addressing: NIC i sits on 10.(subnet_base+i).0.0/24; this host takes
   // .1 when `left`, .2 otherwise.
   std::uint8_t subnet_base = 1;

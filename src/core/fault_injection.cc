@@ -50,7 +50,59 @@ FaultType FaultInjector::pick_fault(const std::string& component) {
   return FaultType::Crash;
 }
 
-void FaultInjector::inject(const std::string& component, FaultType type) {
+std::vector<FaultInjector::PlannedFault> FaultInjector::plan_campaign(int n) {
+  std::vector<PlannedFault> plan;
+  plan.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    PlannedFault f;
+    f.component = pick_component();
+    const bool driver = f.component.rfind("drv", 0) == 0;
+    const std::uint64_t roll = rng_.below(100);
+    if (driver) {
+      if (roll < 12) f.type = FaultType::DeviceWedge;
+      else if (roll < 20) f.type = FaultType::Hang;
+      else f.type = FaultType::Crash;
+    } else {
+      const bool slowable = f.component != servers::kUdpName;
+      if (roll < 4) f.type = FaultType::SyncHang;
+      else if (roll < 10) f.type = FaultType::SilentWedge;
+      else if (roll < 16) f.type = slowable ? FaultType::Slowdown
+                                            : FaultType::Hang;
+      else if (roll < 28) f.type = FaultType::Hang;
+      else f.type = FaultType::Crash;
+    }
+    plan.push_back(std::move(f));
+  }
+  // Coverage pass: every manifestation class must appear at least once (a
+  // short or unlucky draw could miss one), patched at fixed slots so the
+  // schedule stays a pure function of the seed.
+  auto has = [&plan](FaultType t) {
+    for (const auto& f : plan)
+      if (f.type == t) return true;
+    return false;
+  };
+  const struct {
+    FaultType type;
+    const char* component;
+  } required[] = {
+      {FaultType::Crash, servers::kTcpName},
+      {FaultType::Hang, servers::kIpName},
+      {FaultType::SilentWedge, servers::kTcpName},
+      {FaultType::Slowdown, servers::kPfName},
+      {FaultType::DeviceWedge, "drv0"},
+      {FaultType::SyncHang, servers::kTcpName},
+  };
+  std::size_t slot = 0;
+  for (const auto& r : required) {
+    if (has(r.type) || plan.empty()) continue;
+    plan[slot % plan.size()] = PlannedFault{r.component, r.type};
+    ++slot;
+  }
+  return plan;
+}
+
+void FaultInjector::inject(const std::string& component, FaultType type,
+                           double slowdown_factor) {
   history_.push_back(Record{node_.sim().now(), component, type});
   node_.stats().log(node_.sim().now(),
                     "inject " + std::string(to_string(type)) + " into " +
@@ -67,7 +119,7 @@ void FaultInjector::inject(const std::string& component, FaultType type) {
       if (s != nullptr) s->set_drop_work(true);
       return;
     case FaultType::Slowdown:
-      if (s != nullptr) s->set_slowdown(8.0);
+      if (s != nullptr) s->set_slowdown(slowdown_factor);
       return;
     case FaultType::DeviceWedge: {
       const int ifindex =
@@ -83,8 +135,10 @@ void FaultInjector::inject(const std::string& component, FaultType type) {
 }
 
 void FaultInjector::inject_at(sim::Time t, const std::string& component,
-                              FaultType type) {
-  node_.sim().at(t, [this, component, type] { inject(component, type); });
+                              FaultType type, double slowdown_factor) {
+  node_.sim().at(t, [this, component, type, slowdown_factor] {
+    inject(component, type, slowdown_factor);
+  });
 }
 
 }  // namespace newtos

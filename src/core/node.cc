@@ -48,6 +48,7 @@ Node::Node(sim::Simulator& sim, NodeConfig cfg)
   env_.knobs.csum_offload = cfg_.csum_offload;
   env_.knobs.cost_scale = cfg_.cost_scale;
   env_.knobs.work_probes = cfg_.work_probes;
+  env_.knobs.supervision = cfg_.supervision;
   env_.knobs.legacy_per_packet =
       cfg_.mode == StackMode::kMinixSync ? sim.costs().minix_stack_per_packet : 0;
   env_.knobs.app_write_size = cfg_.app_write_size;
@@ -173,8 +174,27 @@ void Node::build() {
   std::vector<int> ifindexes;
   for (int i = 0; i < cfg_.nics; ++i) ifindexes.push_back(i);
 
+  servers::ReincarnationServer::Config rs_cfg;
+  if (cfg_.supervision) {
+    // The full escalation ladder.  Three missed probes (vs the legacy two)
+    // give the slowdown rung — two consecutive LATE acks — first claim on a
+    // slow-but-alive server; the wedge rung still fires when acks stop
+    // entirely.  Budget: five restarts of one child inside ten seconds is a
+    // crash loop — quarantine it for the rest of the window.
+    rs_cfg.max_missed_probes = 3;
+    rs_cfg.slo_factor = 4.0;
+    // Floor sized against the probe canary (~105 us service + <=0.5 ms of
+    // queueing jitter at baseline): a x64 slowdown inflates the canary to
+    // ~6.7 ms, a comfortable 3x past the floor, while a healthy-but-busy
+    // component stays 4x under it.
+    rs_cfg.slo_floor = 2 * sim::kMillisecond;
+    rs_cfg.slo_strikes = 2;
+    rs_cfg.restart_budget = 5;
+    rs_cfg.budget_window = 10 * sim::kSecond;
+    rs_cfg.backoff_cap = 2 * sim::kSecond;
+  }
   auto rs = std::make_unique<servers::ReincarnationServer>(
-      &env_, fresh_core("rs"));
+      &env_, fresh_core("rs"), rs_cfg);
   rs_ = rs.get();
   servers_.emplace("rs", std::move(rs));
   boot_order_.push_back("rs");
@@ -325,11 +345,23 @@ void Node::build() {
   }
 
   // End-to-end work probes target the transport replicas (the component the
-  // paper had to restart manually when it wedged silently).
-  if (cfg_.work_probes && !cfg_.combined_stack()) {
+  // paper had to restart manually when it wedged silently).  Supervision
+  // widens the coverage to every component class — tcp/udp/ip/pf/drv — so
+  // the whole escalation ladder has a per-component probe stream.
+  if ((cfg_.work_probes || cfg_.supervision) && !cfg_.combined_stack()) {
     std::vector<std::string> targets;
     for (int s = 0; s < tcp_shards; ++s)
       targets.push_back(servers::tcp_shard_name(s));
+    if (cfg_.supervision) {
+      for (int s = 0; s < udp_shards; ++s)
+        targets.push_back(servers::udp_shard_name(s));
+      targets.push_back(servers::kIpName);
+      if (cfg_.use_pf) targets.push_back(servers::kPfName);
+      if (!inline_drivers) {
+        for (int i = 0; i < cfg_.nics; ++i)
+          targets.push_back(servers::driver_name(i));
+      }
+    }
     rs_->set_probe_targets(std::move(targets));
   }
 }
@@ -429,6 +461,33 @@ std::uint64_t Node::publish_channel_stats() {
   }
   stats_.set("tcp.ckpt_puts", ckpt_puts);
   stats_.set("tcp.ckpt_bytes", ckpt_bytes);
+  // Checkpoint overflow events: per-connection ring overflows (those still
+  // degrade to non-recoverable) plus directory continuation-page spills
+  // (handled by chained paging; the count proves the paging engaged).
+  std::uint64_t ckpt_overflow = 0;
+  for (const auto* tcp : tcp_shards_) ckpt_overflow += tcp->ckpt_overflows();
+  stats_.set("tcp.ckpt_overflow", ckpt_overflow);
+  // Supervision-plane observability: what the escalation ladder actually
+  // did.  Published whenever the reincarnation server saw any action, so a
+  // campaign can assert them non-zero.
+  if (rs_ != nullptr) {
+    for (const auto& [comp, cs] : rs_->child_stats()) {
+      if (cs.restarts > 0) {
+        stats_.set("rein.restarts." + comp, cs.restarts);
+      }
+      if (cs.detect_ms >= 0.0) {
+        stats_.set("rein.detect_ms." + comp,
+                   static_cast<std::uint64_t>(cs.detect_ms));
+      }
+    }
+    stats_.set("rein.backoff_ms", rs_->backoff_ms_total());
+  }
+  std::uint64_t wedge_resets = 0;
+  for (const auto& [name, srv] : servers_) {
+    auto* drv = dynamic_cast<servers::DriverServer*>(srv.get());
+    if (drv != nullptr) wedge_resets += drv->wedge_resets();
+  }
+  stats_.set("drv.wedge_resets", wedge_resets);
   return total;
 }
 

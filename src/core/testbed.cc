@@ -67,6 +67,7 @@ Testbed::Testbed(const TestbedOptions& opts) {
   left.tcp_checkpoint = opts.tcp_checkpoint;
   left.tcp_ckpt_watermark = opts.tcp_ckpt_watermark;
   left.work_probes = opts.work_probes;
+  left.supervision = opts.supervision;
   left.left = true;
 
   NodeConfig right;

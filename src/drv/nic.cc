@@ -211,13 +211,19 @@ std::vector<std::vector<std::byte>> SimNic::tso_split(
 }
 
 void SimNic::wire_deliver(std::vector<std::byte>&& bytes) {
-  if (!link_up_ || wedged_) return;
+  if (!link_up_) return;
   if (bytes.size() < net::kEthHeaderLen) return;
   // MAC filter: us or broadcast.
   net::MacAddr dst;
   for (int i = 0; i < 6; ++i)
     dst.bytes[i] = std::to_integer<std::uint8_t>(bytes[i]);
   if (dst != mac_ && !dst.is_broadcast()) return;
+
+  // The PHY saw the frame; a wedged (misconfigured) device drops it *after*
+  // the MAC counters advanced, which is exactly how the driver's watchdog
+  // tells "wedged" from "quiet wire".
+  ++stats_.rx_phy_frames;
+  if (wedged_) return;
 
   // RSS: the hash unit picks the queue for steerable frames; everything
   // else (and the whole single-queue device) stays on queue 0.

@@ -53,6 +53,11 @@ class SimNic {
     std::uint64_t tx_descs = 0;    // descriptors consumed
     std::uint64_t tx_ring_full = 0;
     std::uint64_t rx_frames = 0;
+    // Frames that passed the MAC filter, counted BEFORE the wedge drop:
+    // a wedged device keeps advancing rx_phy_frames while rx_frames stays
+    // flat — the counter divergence the driver's wedge watchdog reads
+    // (e1000 "hung adapter" heuristics read GPRC the same way).
+    std::uint64_t rx_phy_frames = 0;
     std::uint64_t rx_no_buffer = 0;
     std::uint64_t rx_bad_addr = 0;
     std::uint64_t rx_bursts = 0;         // coalesced RX interrupts raised

@@ -1,5 +1,6 @@
 #include "src/servers/checkpoint.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/servers/proto.h"
@@ -249,7 +250,36 @@ void CheckpointWriter::flush(sim::Context& ctx) {
     std::vector<std::uint32_t> socks;
     socks.reserve(recs_.size());
     for (const auto& [sock, rec] : recs_) socks.push_back(sock);
-    if (put(kKeyTcpCkptDir, serialize_dir(socks), ctx)) dir_dirty_ = false;
+    // Chained paging: socks past one record's capacity spill into
+    // continuation pages at kKeyTcpCkptDirBase, each page naming its
+    // successor.  A shrink leaves stale pages in the store, but the chain
+    // ends where next_key is 0, so a restore never reads them.  The dirty
+    // flag clears only when EVERY page's put left — a partial flush (new
+    // head, stale tail) is retried, and the restore side tolerates the
+    // overlap by deduplicating socks and treating missing records as lost.
+    const std::size_t pages =
+        socks.empty()
+            ? 1
+            : (socks.size() + kCkptDirPageSocks - 1) / kCkptDirPageSocks;
+    if (pages > 1) dir_overflows_ += pages - 1;
+    bool all_put = true;
+    for (std::size_t i = 0; i < pages; ++i) {
+      const std::uint32_t key =
+          i == 0 ? kKeyTcpCkptDir
+                 : static_cast<std::uint32_t>(kKeyTcpCkptDirBase + i - 1);
+      const std::uint32_t next =
+          i + 1 < pages ? static_cast<std::uint32_t>(kKeyTcpCkptDirBase + i)
+                        : 0;
+      const std::size_t begin = i * kCkptDirPageSocks;
+      const std::size_t count =
+          std::min<std::size_t>(kCkptDirPageSocks, socks.size() - begin);
+      if (!put(key, serialize_dir(std::span(socks).subspan(begin, count), next),
+               ctx)) {
+        all_put = false;
+        break;
+      }
+    }
+    if (all_put) dir_dirty_ = false;
   }
   for (auto& [sock, rec] : recs_) {
     if (!rec.dirty) continue;
@@ -276,23 +306,26 @@ void CheckpointWriter::store_all(sim::Context& ctx) {
 // --- serialization -------------------------------------------------------------------
 
 std::vector<std::byte> CheckpointWriter::serialize_dir(
-    const std::vector<std::uint32_t>& socks) {
-  std::vector<std::byte> out(4 + socks.size() * 4);
+    std::span<const std::uint32_t> socks, std::uint32_t next_key) {
+  std::vector<std::byte> out(8 + socks.size() * 4);
   const std::uint32_t n = static_cast<std::uint32_t>(socks.size());
   std::memcpy(out.data(), &n, 4);
-  if (n > 0) std::memcpy(out.data() + 4, socks.data(), socks.size() * 4);
+  std::memcpy(out.data() + 4, &next_key, 4);
+  if (n > 0) std::memcpy(out.data() + 8, socks.data(), socks.size() * 4);
   return out;
 }
 
-std::vector<std::uint32_t> CheckpointWriter::parse_dir(
+std::optional<CheckpointWriter::DirPage> CheckpointWriter::parse_dir(
     std::span<const std::byte> bytes) {
-  if (bytes.size() < 4) return {};
+  if (bytes.size() < 8) return std::nullopt;
   std::uint32_t n = 0;
+  DirPage page;
   std::memcpy(&n, bytes.data(), 4);
-  if (bytes.size() < 4 + static_cast<std::size_t>(n) * 4) return {};
-  std::vector<std::uint32_t> out(n);
-  if (n > 0) std::memcpy(out.data(), bytes.data() + 4, n * 4);
-  return out;
+  std::memcpy(&page.next_key, bytes.data() + 4, 4);
+  if (bytes.size() < 8 + static_cast<std::size_t>(n) * 4) return std::nullopt;
+  page.socks.resize(n);
+  if (n > 0) std::memcpy(page.socks.data(), bytes.data() + 8, n * 4);
+  return page;
 }
 
 std::vector<std::byte> CheckpointWriter::serialize_record(

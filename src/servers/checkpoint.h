@@ -80,6 +80,13 @@ inline constexpr std::uint32_t kCkptMagic = 0x54504b43u;  // "CKPT"
 inline constexpr std::uint32_t kCkptSndSlots = 1024;
 inline constexpr std::uint32_t kCkptRcvSlots = 1024;
 
+// The checkpoint directory is paged: one directory record holds at most
+// this many socket ids plus the storage key of its continuation page, so a
+// replica tracking more connections than fit in one record chains into
+// kKeyTcpCkptDirBase instead of silently degrading (the ROADMAP's
+// 1024-slot cap).
+inline constexpr std::uint32_t kCkptDirPageSocks = 1024;
+
 struct CkptPageHdr {
   std::uint32_t magic = kCkptMagic;
   std::uint32_t sock = 0;
@@ -181,9 +188,16 @@ class CheckpointWriter : public net::TcpCheckpointSink {
   void ckpt_destroyed(net::SockId s) override;
 
   // --- journal serialization ---------------------------------------------------------
+  // One page of the chained directory: up to kCkptDirPageSocks socks plus
+  // the storage key of the next page (0 terminates the chain).  Page 0
+  // lives at kKeyTcpCkptDir, page i >= 1 at kKeyTcpCkptDirBase + i - 1.
+  struct DirPage {
+    std::vector<std::uint32_t> socks;
+    std::uint32_t next_key = 0;
+  };
   static std::vector<std::byte> serialize_dir(
-      const std::vector<std::uint32_t>& socks);
-  static std::vector<std::uint32_t> parse_dir(std::span<const std::byte>);
+      std::span<const std::uint32_t> socks, std::uint32_t next_key);
+  static std::optional<DirPage> parse_dir(std::span<const std::byte>);
   static std::vector<std::byte> serialize_record(const CkptStoreRec& rec);
   static std::optional<CkptStoreRec> parse_record(std::span<const std::byte>);
 
@@ -207,6 +221,9 @@ class CheckpointWriter : public net::TcpCheckpointSink {
   std::uint64_t puts() const { return puts_; }
   std::uint64_t put_bytes() const { return put_bytes_; }
   std::uint64_t overflows() const { return overflows_; }
+  // Continuation-page puts of the chained directory: non-zero whenever the
+  // replica tracked more connections than one directory record holds.
+  std::uint64_t dir_overflows() const { return dir_overflows_; }
   std::size_t tracked() const { return recs_.size(); }
 
  private:
@@ -242,6 +259,7 @@ class CheckpointWriter : public net::TcpCheckpointSink {
   std::uint64_t puts_ = 0;
   std::uint64_t put_bytes_ = 0;
   std::uint64_t overflows_ = 0;
+  std::uint64_t dir_overflows_ = 0;
 };
 
 }  // namespace newtos::servers

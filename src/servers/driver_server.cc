@@ -157,6 +157,10 @@ void DriverServer::start(bool restart) {
     for (int s = 0; s < tcp_shards_; ++s) connect_out(tcp_shard_name(s));
     for (int s = 0; s < udp_shards_; ++s) connect_out(udp_shard_name(s));
   }
+  if (env().knobs.supervision) {
+    expose_in_queue(kRsName, 64);
+    connect_out(kRsName);
+  }
   if (nic_->coalescing() || fast_path_) {
     burst_pool_ = env().get_pool(name() + ".buf", 1u << 20);
   }
@@ -166,7 +170,40 @@ void DriverServer::start(bool restart) {
     // (Section V-D): full reset, link bounces, IP resubmits.
     nic_->reset();
   }
+  if (env().knobs.supervision) {
+    // Arm the device wedge watchdog.  TimerAdapter invalidates by
+    // incarnation, so every restart re-arms a fresh one here.
+    wd_last_phy_ = nic_->stats().rx_phy_frames;
+    wd_last_rx_ = nic_->stats().rx_frames;
+    wedge_strikes_ = 0;
+    timers()->schedule(kWatchdogInterval, [this] { watchdog_tick(); });
+  }
   announce(restart);
+}
+
+void DriverServer::watchdog_tick() {
+  // e1000-style "hung adapter" heuristic: the MAC's good-packets counter
+  // advances but no completed descriptor reaches the driver, with the link
+  // up.  Two consecutive flat intervals mean the device is wedged (not just
+  // a quiet wire — a quiet wire leaves BOTH counters flat); reset it.
+  const auto& s = nic_->stats();
+  const bool phy_advanced = s.rx_phy_frames != wd_last_phy_;
+  const bool rx_advanced = s.rx_frames != wd_last_rx_;
+  wd_last_phy_ = s.rx_phy_frames;
+  wd_last_rx_ = s.rx_frames;
+  if (nic_->link_up() && phy_advanced && !rx_advanced) {
+    if (++wedge_strikes_ >= 2) {
+      wedge_strikes_ = 0;
+      ++wedge_resets_;
+      // The reset clears the wedge (a misconfigured card reconfigures from
+      // scratch) at the price of a link bounce; IP resubmits.
+      tx_backlog_.clear();
+      nic_->reset();
+    }
+  } else {
+    wedge_strikes_ = 0;
+  }
+  timers()->schedule(kWatchdogInterval, [this] { watchdog_tick(); });
 }
 
 void DriverServer::install_device_handlers() {
@@ -313,6 +350,21 @@ void DriverServer::on_message(const std::string& from, const chan::Message& m,
         if (nic_->rx_ring_level(q) < nic_->rx_ring_level(best)) best = q;
       }
       nic_->rx_post(best, m.ptr);
+      return;
+    }
+    case kWorkProbe: {
+      // Supervision probe: a driver's "work" is servicing the device, but
+      // for liveness purposes dequeuing the probe proves the event loop
+      // turns (device health is the watchdog's job, not the probe's).  The
+      // ack follows the canary charge so its latency reflects a slowdown.
+      charge(ctx, sim().costs().probe_canary);
+      reply_after_charges([this, cookie = m.req_id](sim::Context& c) {
+        chan::Message ack;
+        ack.opcode = kWorkProbeAck;
+        ack.req_id = cookie;
+        ack.arg0 = 1;
+        send_to(kRsName, ack, c);
+      });
       return;
     }
     default:

@@ -52,6 +52,10 @@ class DriverServer : public Server {
   }
   // Frames that took the RSS fast path straight to a transport replica.
   std::uint64_t rx_fast_frames() const { return rx_fast_frames_; }
+  // Device resets issued by the wedge watchdog (supervision only): the MAC
+  // counters kept advancing while no completed descriptor reached us, with
+  // the link up — the paper's "misconfigured card" fault, cleared by reset.
+  std::uint64_t wedge_resets() const { return wedge_resets_; }
 
  protected:
   void start(bool restart) override;
@@ -63,6 +67,9 @@ class DriverServer : public Server {
 
  private:
   void install_device_handlers();
+  // Supervision: e1000-style watchdog tick comparing the device's PHY
+  // counter against delivered frames; two flat strikes reset the device.
+  void watchdog_tick();
   void drain_backlog(sim::Context& ctx);
   void forward_rx_frame(const chan::RichPtr& buf, std::uint32_t len,
                         sim::Context& ctx, int queue = 0);
@@ -99,6 +106,12 @@ class DriverServer : public Server {
   // ring (Section IV-A); it buffers a bounded backlog and sheds beyond it.
   std::deque<std::pair<net::TxFrame, std::uint64_t>> tx_backlog_;
   static constexpr std::size_t kMaxBacklog = 1024;
+  // Wedge watchdog state (supervision only).
+  std::uint64_t wd_last_phy_ = 0;
+  std::uint64_t wd_last_rx_ = 0;
+  int wedge_strikes_ = 0;
+  std::uint64_t wedge_resets_ = 0;
+  static constexpr sim::Time kWatchdogInterval = 250 * sim::kMillisecond;
 };
 
 }  // namespace newtos::servers

@@ -183,6 +183,8 @@ void IpServer::start(bool restart) {
   peers.push_back(kStoreName);
   if (cfg_.use_pf) peers.push_back(kPfName);
   for (int ifindex : cfg_.ifindexes) peers.push_back(driver_name(ifindex));
+  // Supervision probes us directly (not just through a transport).
+  if (env().knobs.supervision) peers.push_back(kRsName);
   for (const auto& p : peers) {
     expose_in_queue(p, 1024);
     connect_out(p);
@@ -386,8 +388,25 @@ void IpServer::on_message(const std::string& from, const chan::Message& m,
     case kWorkProbe: {
       // Reincarnation work probe bounced through a transport: do one IP
       // hop's worth of work and pass it to the packet filter (the last hop
-      // of the synthetic echo) when there is one.
-      charge(ctx, costs.ip_packet_proc / 2);
+      // of the synthetic echo) when there is one.  A DIRECT probe instead
+      // pays the canary quantum so its latency exposes slowdowns.
+      charge(ctx, from == kRsName ? costs.probe_canary
+                                  : costs.ip_packet_proc / 2);
+      if (from == kRsName) {
+        // A DIRECT probe from the reincarnation server judges this server
+        // alone: ack shallow, after the canary is paid.  Deep echoes
+        // through PF would make us answer for a wedged/slow packet filter
+        // — the supervisor probes PF separately and must blame the right
+        // component.
+        reply_after_charges([this, cookie = m.req_id](sim::Context& c) {
+          chan::Message ack;
+          ack.opcode = kWorkProbeAck;
+          ack.req_id = cookie;
+          ack.arg0 = 1;
+          send_to(kRsName, ack, c);
+        });
+        return;
+      }
       if (cfg_.use_pf) {
         chan::Message p;
         p.opcode = kWorkProbe;

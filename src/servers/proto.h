@@ -136,6 +136,12 @@ enum StoreKey : std::uint32_t {
   // of checkpointed connections plus one compact TCB record per connection
   // at kKeyTcpCkptRecBase + (sock & 0x00ffffff).
   kKeyTcpCkptDir = 16,
+  // Continuation pages of a directory that outgrew one record: page i >= 1
+  // lives at kKeyTcpCkptDirBase + i - 1, each page naming its successor
+  // (chained, so a restart can walk an arbitrarily large directory without
+  // knowing its size up front).  The range is far below kKeyTcpCkptRecBase
+  // and far above the static keys, so it collides with neither.
+  kKeyTcpCkptDirBase = 0x00100000,
   kKeyTcpCkptRecBase = 0x01000000,
 };
 

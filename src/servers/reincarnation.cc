@@ -1,8 +1,16 @@
 #include "src/servers/reincarnation.h"
 
+#include <algorithm>
+
 #include "src/servers/proto.h"
 
 namespace newtos::servers {
+
+namespace {
+// Bound on retained probe cookies: late acks older than this horizon carry
+// no useful RTT signal any more (their sender was reset long ago).
+constexpr std::size_t kMaxProbeCookies = 1024;
+}  // namespace
 
 ReincarnationServer::ReincarnationServer(NodeEnv* env, sim::SimCore* core)
     : ReincarnationServer(env, core, Config{}) {}
@@ -17,7 +25,7 @@ void ReincarnationServer::manage(Server* child) {
   for (const auto& c : children_) {
     if (c.server == child) return;
   }
-  children_.push_back(Child{child, 0, false});
+  children_.push_back(Child{child, 0, false, 0, 0, 0});
   stats_.emplace(child->name(), ChildStats{});
 }
 
@@ -35,7 +43,7 @@ ReincarnationServer::Child* ReincarnationServer::child_by_name(
 }
 
 void ReincarnationServer::start(bool restart) {
-  if (env().knobs.work_probes) {
+  if (probes_enabled()) {
     for (const auto& t : probe_targets_) {
       expose_in_queue(t, 64);
       connect_out(t);
@@ -43,22 +51,60 @@ void ReincarnationServer::start(bool restart) {
   }
   announce(restart);
   timers()->schedule(cfg_.heartbeat_interval, [this] { tick(); });
-  if (env().knobs.work_probes && !probe_targets_.empty()) {
+  if (probes_enabled() && !probe_targets_.empty()) {
     timers()->schedule(cfg_.probe_interval, [this] { probe_tick(); });
   }
+}
+
+void ReincarnationServer::escalate(Child& child,
+                                   std::uint64_t ChildStats::* counter) {
+  ChildStats& s = stats_[child.server->name()];
+  ++(s.*counter);
+  const sim::Time now = sim().now();
+  s.detect_ms = child.last_ok > 0 && now > child.last_ok
+                    ? static_cast<double>(now - child.last_ok) /
+                          sim::kMillisecond
+                    : 0.0;
+  child.missed = 0;
+  child.server->kill();  // triggers child_crashed via report_crash
 }
 
 void ReincarnationServer::on_message(const std::string& from,
                                      const chan::Message& m, sim::Context&) {
   if (m.opcode != kWorkProbeAck) return;
   auto cit = probe_cookies_.find(m.req_id);
-  if (cit == probe_cookies_.end() || cit->second != from) return;
+  if (cit == probe_cookies_.end() || cit->second.target != from) return;
+  const sim::Time rtt = sim().now() - cit->second.sent_at;
   probe_cookies_.erase(cit);
   Probe& p = probes_[from];
   if (p.outstanding == m.req_id) {
     p.outstanding = 0;
     p.missed = 0;
   }
+  Child* child = child_by_name(from);
+  if (child != nullptr) child->last_ok = sim().now();
+
+  // Slowdown rung: the child answers — but late.  The first samples seed
+  // the EWMA unconditionally; after that only healthy acks feed it, so a
+  // slowed-down server cannot drag its own SLO up.
+  if (cfg_.slo_factor <= 0.0) return;
+  const bool warmed = p.samples >= 4;
+  const double slo =
+      std::max(static_cast<double>(cfg_.slo_floor),
+               cfg_.slo_factor * p.ewma);
+  if (warmed && static_cast<double>(rtt) > slo) {
+    if (++p.slo_strikes >= cfg_.slo_strikes && child != nullptr &&
+        child->server->alive() && !child->restart_pending) {
+      p.slo_strikes = 0;
+      escalate(*child, &ChildStats::slowdown_resets);
+    }
+    return;
+  }
+  p.slo_strikes = 0;
+  p.ewma = p.samples == 0
+               ? static_cast<double>(rtt)
+               : p.ewma * 0.875 + static_cast<double>(rtt) * 0.125;
+  ++p.samples;
 }
 
 void ReincarnationServer::probe_tick() {
@@ -70,18 +116,19 @@ void ReincarnationServer::probe_tick() {
       // Dead or already reincarnating: crash/heartbeat machinery owns it.
       p.outstanding = 0;
       p.missed = 0;
+      p.slo_strikes = 0;
       continue;
     }
     if (p.outstanding != 0) {
-      probe_cookies_.erase(p.outstanding);
+      // The cookie stays in probe_cookies_: a late ack is the slowdown
+      // signal, not garbage.  The map is bounded below.
       ++p.missed;
       p.outstanding = 0;
       if (p.missed >= cfg_.max_missed_probes) {
         // Answers heartbeats but drops work: the silent wedge the paper
         // fixed by hand.  Reset it like a hung child.
-        ++stats_[t].probe_resets;
         p.missed = 0;
-        child->server->kill();  // triggers child_crashed via report_crash
+        escalate(*child, &ChildStats::probe_resets);
         continue;
       }
     }
@@ -91,7 +138,10 @@ void ReincarnationServer::probe_tick() {
     sim::Context* ctx = in_handler() ? &cur() : nullptr;
     if (ctx != nullptr && send_to(t, m, *ctx)) {
       p.outstanding = m.req_id;
-      probe_cookies_[m.req_id] = t;
+      probe_cookies_[m.req_id] = SentProbe{t, sim().now()};
+      while (probe_cookies_.size() > kMaxProbeCookies) {
+        probe_cookies_.erase(probe_cookies_.begin());  // oldest cookie first
+      }
     }
   }
   timers()->schedule(cfg_.probe_interval, [this] { probe_tick(); });
@@ -103,16 +153,17 @@ void ReincarnationServer::tick() {
     if (child.missed >= cfg_.max_missed_beats) {
       // Unresponsive: reset it (Section V-D: "...resets it when it stops
       // responding to periodic heartbeats").
-      ++stats_[child.server->name()].hang_resets;
-      child.missed = 0;
-      child.server->kill();  // triggers child_crashed via report_crash
+      escalate(child, &ChildStats::hang_resets);
       continue;
     }
     ++child.missed;
     Server* s = child.server;
     s->post_heartbeat([this, s] {
       for (auto& c : children_) {
-        if (c.server == s) c.missed = 0;
+        if (c.server == s) {
+          c.missed = 0;
+          c.last_ok = sim().now();
+        }
       }
     });
   }
@@ -128,7 +179,28 @@ void ReincarnationServer::schedule_restart(Server* child) {
   for (auto& c : children_) {
     if (c.server != child || c.restart_pending) continue;
     c.restart_pending = true;
-    sim().after(cfg_.restart_delay, [this, child] {
+    sim::Time delay = cfg_.restart_delay;
+    if (cfg_.restart_budget > 0) {
+      const sim::Time now = sim().now();
+      if (c.last_restart != 0 && now - c.last_restart > cfg_.budget_window)
+        c.recent_restarts = 0;
+      c.last_restart = now;
+      ++c.recent_restarts;
+      // Exponential backoff: the Nth restart inside the window waits
+      // 2^(N-1) times the exec+init delay, capped.
+      for (int i = 1; i < c.recent_restarts && delay < cfg_.backoff_cap; ++i)
+        delay *= 2;
+      delay = std::min(delay, cfg_.backoff_cap);
+      if (c.recent_restarts > cfg_.restart_budget) {
+        // Crash loop: quarantine.  The child stays down for a full budget
+        // window; its peers already treat a down peer gracefully (classic
+        // IP path, dead-replica queue drains), so the stack degrades
+        // instead of flapping.
+        delay = cfg_.budget_window;
+      }
+      backoff_total_ += delay - cfg_.restart_delay;
+    }
+    sim().after(delay, [this, child] {
       for (auto& c2 : children_) {
         if (c2.server == child) {
           c2.restart_pending = false;

@@ -13,6 +13,25 @@
 // a synthetic echo rs -> tcpN -> ip -> pf, acked back along the same path
 // (kWorkProbe/kWorkProbeAck).  A wedged transport drops the probe; after
 // `max_missed_probes` unanswered probes it is reset like a hung one.
+//
+// With RuntimeKnobs::supervision on the two signals grow into a full
+// escalation ladder over every component class (tcp/udp/ip/pf/drv):
+//
+//   missed heartbeats            => Hang        => kill + reincarnate
+//   heartbeats OK, probes missed => SilentWedge => kill + reincarnate
+//   probe RTT > EWMA-based SLO   => Slowdown    => kill + reincarnate
+//   (NIC counters flat, link up  => DeviceWedge => driver resets the device
+//    — detected by the driver's own watchdog, see driver_server.h)
+//
+// Probe acks carry an RTT sample: a slowed-down server still answers, but
+// late (its in-queue backlog grows without bound), so acks that exceed
+// max(slo_floor, slo_factor * EWMA(healthy RTT)) for slo_strikes probes in
+// a row are treated as a detection.  Restarts are budgeted: more than
+// restart_budget restarts of one child inside budget_window quarantines it
+// (held down for a full window — peers degrade to their classic paths, as
+// they do for any dead peer) and each consecutive restart doubles the
+// exec+init delay up to backoff_cap, so a crash-looping component degrades
+// gracefully instead of flapping.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +53,18 @@ class ReincarnationServer : public Server {
     // RuntimeKnobs::work_probes and probe targets were registered).
     sim::Time probe_interval = 100 * sim::kMillisecond;
     int max_missed_probes = 2;
+    // --- supervision-plane tuning (inert at the defaults) -----------------
+    // Slowdown rung: an ack with RTT > max(slo_floor, slo_factor * ewma)
+    // is an SLO strike; slo_strikes consecutive strikes reset the child.
+    // slo_factor == 0 disables the rung (the legacy work_probes behaviour).
+    double slo_factor = 0.0;
+    sim::Time slo_floor = 5 * sim::kMillisecond;
+    int slo_strikes = 2;
+    // Restart budget + exponential backoff.  restart_budget == 0 disables
+    // both (every restart waits exactly restart_delay, as it always did).
+    int restart_budget = 0;
+    sim::Time budget_window = 10 * sim::kSecond;
+    sim::Time backoff_cap = 2 * sim::kSecond;
   };
 
   ReincarnationServer(NodeEnv* env, sim::SimCore* core);
@@ -42,7 +73,8 @@ class ReincarnationServer : public Server {
   // Registers a child.  Children are booted by the node; we only restart.
   void manage(Server* child);
   // Declares which children receive end-to-end work probes (the transport
-  // replicas).  Must be called before boot; no-op without knobs.work_probes.
+  // replicas; with supervision on, every component class).  Must be called
+  // before boot; no-op without knobs.work_probes/knobs.supervision.
   void set_probe_targets(std::vector<std::string> targets);
 
   // Crash signal (wired to NodeEnv::report_crash by the node).
@@ -52,12 +84,22 @@ class ReincarnationServer : public Server {
     std::uint64_t crashes = 0;
     std::uint64_t hang_resets = 0;
     std::uint64_t probe_resets = 0;  // silent wedges caught by work probes
+    std::uint64_t slowdown_resets = 0;  // SLO-rung detections
     std::uint64_t restarts = 0;
+    // Detection latency of the most recent escalation: time from the last
+    // positive signal (heartbeat or probe ack) to the kill.  -1 until the
+    // first detection.
+    double detect_ms = -1.0;
   };
   const std::map<std::string, ChildStats>& child_stats() const {
     return stats_;
   }
   std::uint64_t total_restarts() const;
+  // Milliseconds of restart delay charged beyond the base exec+init time by
+  // the backoff/budget machinery (0 unless a child crash-looped).
+  std::uint64_t backoff_ms_total() const {
+    return static_cast<std::uint64_t>(backoff_total_ / sim::kMillisecond);
+  }
 
  protected:
   void start(bool restart) override;
@@ -69,24 +111,42 @@ class ReincarnationServer : public Server {
     Server* server = nullptr;
     int missed = 0;
     bool restart_pending = false;
+    sim::Time last_ok = 0;      // last heartbeat/probe ack seen
+    int recent_restarts = 0;    // restarts inside the current budget window
+    sim::Time last_restart = 0;
   };
   struct Probe {
     std::uint64_t outstanding = 0;  // cookie of the unanswered probe, or 0
     int missed = 0;
+    int slo_strikes = 0;
+    double ewma = 0.0;  // EWMA of healthy probe RTTs (ns)
+    int samples = 0;
+  };
+  struct SentProbe {
+    std::string target;
+    sim::Time sent_at = 0;
   };
 
   void tick();
   void probe_tick();
   void schedule_restart(Server* child);
   Child* child_by_name(const std::string& name);
+  // One rung of the ladder fired: record the detection and kill the child.
+  void escalate(Child& child, std::uint64_t ChildStats::* counter);
+  bool probes_enabled() {
+    return env().knobs.work_probes || env().knobs.supervision;
+  }
 
   Config cfg_;
   std::vector<Child> children_;
   std::map<std::string, ChildStats> stats_;
   std::vector<std::string> probe_targets_;
   std::map<std::string, Probe> probes_;
-  std::map<std::uint64_t, std::string> probe_cookies_;  // cookie -> target
+  // Every probe in flight, kept past its miss: a LATE ack is exactly the
+  // slowdown signal, so cookies survive until answered or evicted (bounded).
+  std::map<std::uint64_t, SentProbe> probe_cookies_;
   std::uint64_t next_probe_ = 1;
+  sim::Time backoff_total_ = 0;
 };
 
 }  // namespace newtos::servers

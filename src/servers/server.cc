@@ -177,6 +177,14 @@ void Server::send_to_all(const std::vector<std::string>& peers,
   for (const auto& peer : peers) send_to(peer, m, ctx);
 }
 
+void Server::reply_after_charges(std::function<void(sim::Context&)> fn) {
+  core_->exec(sim().now(),
+              [this, inc = incarnation_, fn = std::move(fn)](sim::Context& c) {
+                if (!alive_ || hung_ || inc != incarnation_) return;
+                fn(c);
+              });
+}
+
 void Server::announce(bool restarted) {
   announced_ = true;
   const std::string key = "server." + name_ + ".up";

@@ -52,6 +52,11 @@ struct RuntimeKnobs {
   // End-to-end work probes (reincarnation server -> transports -> IP -> PF):
   // servers only create the probe channels when this is on.
   bool work_probes = false;
+  // Self-healing supervision plane: the reincarnation server escalates from
+  // heartbeats/probes to automatic restarts (hang, silent wedge, slowdown)
+  // and the drivers watch their NIC for receive wedges.  Implies the probe
+  // channels of work_probes, extended to every component class.
+  bool supervision = false;
 };
 
 // Everything a server needs from its node; filled in by core/node.cc.
@@ -233,6 +238,13 @@ class Server {
   void send_to_all(const std::vector<std::string>& peers,
                    const chan::Message& m, sim::Context& ctx);
   bool peer_ready(const std::string& peer) const;
+  // Runs `fn` in a follow-up task on this server's core, i.e. only after
+  // every cycle charged by the current handler (scaled by any slowdown) has
+  // elapsed.  Messages sent inside a handler are delivered at the task's
+  // START time, so a reply whose latency must reflect the handler's work —
+  // the supervision probe ack and its canary quantum — has to be issued
+  // from here.  Dropped if the server dies, hangs or reincarnates first.
+  void reply_after_charges(std::function<void(sim::Context&)> fn);
 
   // Declares this server announced ("server.<name>.up" published).  Called
   // by subclasses when their state is restored and they are open for

@@ -150,7 +150,11 @@ void TcpServer::build_fastpath() {
 }
 
 void TcpServer::start(bool restart) {
-  pool_ = env().get_pool(name() + ".buf", 32u << 20);
+  // Checkpointing keeps every established connection's TCB page plus its
+  // parked queue chunks pool-resident; sized for ~2k concurrent checkpointed
+  // connections (the directory pages past 1024 entries, see checkpoint.h).
+  pool_ = env().get_pool(name() + ".buf",
+                         opts_.checkpoint ? 160u << 20 : 32u << 20);
   for (const char* p : {kIpName, kStoreName, kPfName, kSyscallName}) {
     expose_in_queue(p, 1024);
     connect_out(p);
@@ -159,7 +163,7 @@ void TcpServer::start(bool restart) {
     expose_in_queue(sib, 256);
     connect_out(sib);
   }
-  if (env().knobs.work_probes) {
+  if (env().knobs.work_probes || env().knobs.supervision) {
     expose_in_queue(kRsName, 64);
     connect_out(kRsName);
   }
@@ -193,6 +197,9 @@ void TcpServer::on_killed() {
   tx_descs_.clear();
   store_gets_.clear();
   ckpt_pending_ = 0;
+  ckpt_socks_seen_.clear();
+  ckpt_fetch_queue_.clear();
+  ckpt_inflight_ = 0;
 }
 
 bool TcpServer::store_get(std::uint32_t key, sim::Context& ctx) {
@@ -208,8 +215,22 @@ bool TcpServer::store_get(std::uint32_t key, sim::Context& ctx) {
   return true;
 }
 
+void TcpServer::pump_ckpt_fetches(sim::Context& ctx) {
+  while (!ckpt_fetch_queue_.empty() && ckpt_inflight_ < kCkptFetchWindow) {
+    // A full store queue just ends this round: every record reply pumps
+    // again, and with the window under half the queue capacity at least
+    // one fetch is always in flight to trigger that reply.
+    if (!store_get(ckpt_fetch_queue_.front(), ctx)) break;
+    ckpt_fetch_queue_.pop_front();
+    ++ckpt_inflight_;
+  }
+}
+
 void TcpServer::finish_restore(sim::Context& ctx) {
   (void)ctx;
+  ckpt_socks_seen_.clear();
+  ckpt_fetch_queue_.clear();
+  ckpt_inflight_ = 0;
   if (engine_) engine_->resync_restored();
   announce(true);
 }
@@ -476,16 +497,21 @@ void TcpServer::on_message(const std::string& from, const chan::Message& m,
       // in its place (their own heartbeats cover them).  The echo still
       // bounces through IP and PF so the full path is exercised and the
       // deeper ack reports the hops (the prober ignores duplicates).
-      charge(ctx, sim().costs().tcp_ack_proc);
-      chan::Message ack;
-      ack.opcode = kWorkProbeAck;
-      ack.req_id = m.req_id;
-      ack.arg0 = 1;
-      send_to(kRsName, ack, ctx);
-      chan::Message p;
-      p.opcode = kWorkProbe;
-      p.req_id = m.req_id;
-      send_to(kIpName, p, ctx);
+      // The canary quantum makes the ack's latency scale with any
+      // slowdown of this replica (see CostModel::probe_canary); the ack
+      // must go out AFTER the charge is paid, hence reply_after_charges.
+      charge(ctx, sim().costs().probe_canary);
+      reply_after_charges([this, cookie = m.req_id](sim::Context& c) {
+        chan::Message ack;
+        ack.opcode = kWorkProbeAck;
+        ack.req_id = cookie;
+        ack.arg0 = 1;
+        send_to(kRsName, ack, c);
+        chan::Message p;
+        p.opcode = kWorkProbe;
+        p.req_id = cookie;
+        send_to(kIpName, p, c);
+      });
       return;
     }
     case kWorkProbeAck: {
@@ -544,19 +570,36 @@ void TcpServer::handle_store_reply(std::uint32_t key, const chan::Message& m,
     }
     return;
   }
-  if (key == kKeyTcpCkptDir) {
+  if (key == kKeyTcpCkptDir ||
+      (key >= kKeyTcpCkptDirBase && key < kKeyTcpCkptRecBase)) {
+    // One page of the chained directory.  Continuation fetches ride
+    // ckpt_pending_ like record fetches do; the head fetch was issued by
+    // the listener branch and is not counted.
+    if (key != kKeyTcpCkptDir) --ckpt_pending_;
     if (found) {
-      const auto socks =
-          CheckpointWriter::parse_dir(env().pools->read(m.ptr));
-      for (const std::uint32_t sock : socks) {
-        if (store_get(ckpt_record_key(sock), ctx)) ++ckpt_pending_;
+      const auto page = CheckpointWriter::parse_dir(env().pools->read(m.ptr));
+      if (page) {
+        for (const std::uint32_t sock : page->socks) {
+          // A partially-flushed chain can list a sock on two pages (fresh
+          // head pointing at a stale tail): fetch each record only once.
+          // Fetches are windowed (pump_ckpt_fetches): a full directory
+          // page would otherwise burst 1024 gets at a 256-slot queue.
+          if (!ckpt_socks_seen_.insert(sock).second) continue;
+          ckpt_fetch_queue_.push_back(ckpt_record_key(sock));
+          ++ckpt_pending_;
+        }
+        if (page->next_key != 0 && store_get(page->next_key, ctx))
+          ++ckpt_pending_;
       }
     }
+    pump_ckpt_fetches(ctx);
     if (ckpt_pending_ == 0) finish_restore(ctx);
     return;
   }
   if (key >= kKeyTcpCkptRecBase) {
     --ckpt_pending_;
+    if (ckpt_inflight_ > 0) --ckpt_inflight_;
+    pump_ckpt_fetches(ctx);
     // The sock's shard bits were masked into the key; rebuild our own id
     // range (records are namespaced per replica, so they are always ours).
     std::uint32_t sock = key - kKeyTcpCkptRecBase;

@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <deque>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -69,6 +71,12 @@ class TcpServer : public Server {
   }
   std::uint64_t ckpt_tracked() const {
     return writer_ ? writer_->tracked() : 0;
+  }
+  // Overflow events: per-connection ring overflows (connection reverts to
+  // classic non-recoverable) plus directory continuation-page spills (now
+  // handled by chained paging, but still surfaced for observability).
+  std::uint64_t ckpt_overflows() const {
+    return writer_ ? writer_->overflows() + writer_->dir_overflows() : 0;
   }
 
   void handle_sock_request(const chan::Message& m, sim::Context& ctx,
@@ -121,7 +129,18 @@ class TcpServer : public Server {
   std::unordered_map<std::uint64_t, chan::RichPtr> tx_descs_;
   // In-flight kStoreGet requests of the restart sequence (req -> key).
   std::map<std::uint64_t, std::uint32_t> store_gets_;
-  int ckpt_pending_ = 0;  // record fetches still outstanding
+  int ckpt_pending_ = 0;  // record/dir-page fetches still outstanding
+  // Socks whose records were already requested during this restore: a
+  // partially-flushed directory chain may list one on two pages.
+  std::set<std::uint32_t> ckpt_socks_seen_;
+  // Record keys waiting to be fetched, issued at most kCkptFetchWindow at a
+  // time: a full directory page lists 1024 socks but the storage server's
+  // in-queue holds 256 — an unwindowed burst silently drops the tail and
+  // those connections would never restore.
+  static constexpr int kCkptFetchWindow = 128;
+  std::deque<std::uint32_t> ckpt_fetch_queue_;
+  int ckpt_inflight_ = 0;
+  void pump_ckpt_fetches(sim::Context& ctx);
 };
 
 }  // namespace newtos::servers

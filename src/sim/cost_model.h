@@ -56,6 +56,16 @@ struct CostModel {
   Cycles drv_packet_proc = 420;     // descriptor fill, tail pointer update
   Cycles socket_op = 500;           // per socket-layer syscall bookkeeping
 
+  // Self-check quantum a component burns when answering a supervision work
+  // probe (~105 us at 1.9 GHz).  A probe that only proved liveness could
+  // never discriminate a slowdown: a x64-degraded packet filter still
+  // answers a 0.3 us probe in microseconds.  Charging a calibrated canary
+  // workload makes the probe's own service time scale with the degradation
+  // (x64 -> ~6.7 ms, far past the SLO floor) while costing a supervised
+  // component only ~0.1% of a core.  Paid only when probes arrive, i.e.
+  // only with supervision/work_probes on.
+  Cycles probe_canary = 200000;
+
   // The original MINIX 3 stack (Table II line 1) paid several synchronous
   // kernel messages and data copies per packet, with the whole stack and the
   // application timesharing one core.  This lump captures its per-packet

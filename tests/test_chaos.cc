@@ -1,0 +1,310 @@
+// Cross-plane fault interactions under the supervision plane.
+//
+// PR 5 proved each recovery path in isolation with the fault applied by the
+// test and the restart done manually where the reincarnation server could
+// not see it.  With RuntimeKnobs::supervision on there is no manual path
+// left: every manifestation class of src/core/fault_injection.h must be
+// *detected* by the right rung of the escalation ladder and *healed* while
+// the rest of the stack keeps its state — checkpointed connections take the
+// zero-reconnect path through a probe-triggered restart, a wedged NIC is
+// reset by the driver watchdog while flows on the other port keep running,
+// and a slowed-down PF is caught by the SLO rung while the per-shard
+// verdict cache keeps fast-path flows alive.  Every test also rides the
+// Testbed teardown loan-leak check.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/apps.h"
+#include "src/core/fault_injection.h"
+#include "src/core/testbed.h"
+#include "src/servers/driver_server.h"
+#include "src/servers/reincarnation.h"
+
+using namespace newtos;
+
+namespace {
+
+TestbedOptions chaos_opts() {
+  TestbedOptions opts;
+  opts.mode = StackMode::kSplitSyscall;
+  opts.nics = 2;
+  opts.pf_filler_rules = 128;
+  opts.tcp_checkpoint = true;
+  opts.supervision = true;
+  return opts;
+}
+
+// The supervised rig: ssh-like echo in, INBOUND bulk (the load a Slowdown
+// needs to manifest — it exercises drv -> ip -> pf -> tcp), periodic DNS.
+struct ChaosRig {
+  Testbed tb;
+  AppActor* rx_app;
+  apps::BulkReceiver receiver;
+  AppActor* tx_app;
+  apps::BulkSender sender;
+  AppActor* sshd_app;
+  apps::EchoServer sshd;
+  AppActor* ssh_app;
+  apps::EchoClient ssh;
+  AppActor* named_app;
+  apps::DnsServer named;
+  AppActor* resolver_app;
+  apps::DnsClient resolver;
+  FaultInjector faults;
+
+  static apps::BulkReceiver::Config rx_cfg() {
+    apps::BulkReceiver::Config c;
+    c.record_series = false;
+    return c;
+  }
+  static apps::BulkSender::Config tx_cfg(Testbed& tb, int link) {
+    apps::BulkSender::Config c;
+    c.dst = tb.peer().peer_addr(link);
+    return c;
+  }
+  static apps::EchoClient::Config ssh_cfg(Testbed& tb) {
+    apps::EchoClient::Config c;
+    c.dst = tb.peer().peer_addr(0);
+    return c;
+  }
+  static apps::DnsClient::Config dns_cfg(Testbed& tb) {
+    apps::DnsClient::Config c;
+    c.dst = tb.newtos().peer_addr(0);
+    return c;
+  }
+
+  explicit ChaosRig(const TestbedOptions& opts, int bulk_link = 1)
+      : tb(opts),
+        rx_app(tb.newtos().add_app("iperf_rx")),
+        receiver(tb.newtos(), rx_app, rx_cfg()),
+        tx_app(tb.peer().add_app("iperf_tx")),
+        sender(tb.peer(), tx_app, tx_cfg(tb, bulk_link)),
+        sshd_app(tb.newtos().add_app("sshd")),
+        sshd(tb.newtos(), sshd_app, {}),
+        ssh_app(tb.peer().add_app("ssh")),
+        ssh(tb.peer(), ssh_app, ssh_cfg(tb)),
+        named_app(tb.peer().add_app("named")),
+        named(tb.peer(), named_app),
+        resolver_app(tb.newtos().add_app("resolver")),
+        resolver(tb.newtos(), resolver_app, dns_cfg(tb)),
+        faults(tb.newtos(), /*seed=*/7) {
+    receiver.start();
+    sender.start();
+    sshd.start();
+    ssh.start();
+    named.start();
+    resolver.start();
+  }
+
+  servers::ReincarnationServer::ChildStats stat_of(const std::string& comp) {
+    const auto& m = tb.newtos().reincarnation()->child_stats();
+    auto it = m.find(comp);
+    return it == m.end() ? servers::ReincarnationServer::ChildStats{}
+                         : it->second;
+  }
+  std::uint64_t wedge_resets(const std::string& drv_name) {
+    auto* drv = dynamic_cast<servers::DriverServer*>(
+        tb.newtos().server(drv_name));
+    return drv != nullptr ? drv->wedge_resets() : 0;
+  }
+};
+
+// SilentWedge of the TCP replica while tcp_checkpoint is on: the probe rung
+// must catch what heartbeats cannot, and because the restart it triggers is
+// an ordinary reincarnation, the checkpointed echo connection must take the
+// zero-reconnect path — the client never even notices.
+TEST(Chaos, SilentWedgeTcpTakesZeroReconnectPath) {
+  ChaosRig rig(chaos_opts());
+  rig.tb.run_until(2 * sim::kSecond);
+  ASSERT_TRUE(rig.ssh.connected());
+  ASSERT_GT(rig.receiver.bytes(), 0u) << "inbound bulk load never started";
+  const std::uint64_t resets_before = rig.ssh.resets();
+  const std::uint64_t reconnects_before = rig.ssh.reconnects();
+
+  rig.faults.inject(servers::kTcpName, FaultType::SilentWedge);
+  rig.tb.run_until(6 * sim::kSecond);
+
+  const auto st = rig.stat_of(servers::kTcpName);
+  EXPECT_GE(st.probe_resets, 1u) << "probe rung never fired";
+  EXPECT_EQ(st.hang_resets, 0u) << "a silent wedge answers heartbeats";
+  EXPECT_GE(st.restarts, 1u);
+  EXPECT_GE(st.detect_ms, 0.0);
+
+  // The zero-reconnect path: same socket, no resets, echo still advancing.
+  EXPECT_EQ(rig.ssh.resets(), resets_before);
+  EXPECT_EQ(rig.ssh.reconnects(), reconnects_before);
+  EXPECT_TRUE(rig.ssh.connected());
+  const std::uint64_t ok_at_6s = rig.ssh.ok();
+  rig.tb.run_until(7 * sim::kSecond);
+  EXPECT_GT(rig.ssh.ok(), ok_at_6s) << "echo session did not resume";
+}
+
+// DeviceWedge with the multi-queue RSS fast path on: the driver watchdog
+// (counters flat while the link is up and frames keep arriving) must reset
+// the NIC without restarting anything, traffic on the other port keeps
+// running throughout, and the Testbed teardown proves the reset reclaimed
+// every fast-path loan.
+TEST(Chaos, DeviceWedgeUnderRssRecoversByNicReset) {
+  TestbedOptions opts = chaos_opts();
+  opts.rx_queues = 4;
+  opts.tcp_shards = 4;
+  ChaosRig rig(opts, /*bulk_link=*/1);
+  rig.tb.run_until(2 * sim::kSecond);
+  ASSERT_GT(rig.receiver.bytes(), 0u);
+
+  rig.faults.inject("drv0", FaultType::DeviceWedge);
+
+  // The echo/DNS sessions ride nic0 and stall while it is wedged; the bulk
+  // stream rides nic1 and must keep flowing through detection + reset.
+  const std::uint64_t bulk_before = rig.receiver.bytes();
+  rig.tb.run_until(3 * sim::kSecond);
+  EXPECT_GE(rig.wedge_resets("drv0"), 1u) << "watchdog never reset the NIC";
+  EXPECT_GT(rig.receiver.bytes(), bulk_before)
+      << "traffic on the surviving port stalled";
+  EXPECT_GE(rig.stat_of("drv0").restarts, 0u);  // reset, not reincarnation
+
+  // After the link comes back (1.5 s bounce), nic0 service resumes.
+  rig.tb.run_until(6 * sim::kSecond);
+  EXPECT_FALSE(rig.tb.newtos().nic(0)->wedged());
+  EXPECT_TRUE(rig.tb.newtos().nic(0)->link_up());
+  const std::uint64_t ok_now = rig.ssh.ok();
+  const std::uint64_t dns_now = rig.resolver.answered();
+  rig.tb.run_until(7 * sim::kSecond);
+  EXPECT_GT(rig.ssh.ok(), ok_now) << "echo never came back after the reset";
+  EXPECT_GT(rig.resolver.answered(), dns_now);
+}
+
+// Slowdown of PF while the RSS fast path is on: the bulk flow's verdict is
+// cached per shard, so the slowed-down filter only throttles *new* flows —
+// the established fast-path stream keeps its rate while the SLO rung
+// detects the slowdown and restarts PF.
+TEST(Chaos, PfSlowdownCaughtWhileVerdictCacheCarriesFastPath) {
+  TestbedOptions opts = chaos_opts();
+  opts.rx_queues = 4;
+  opts.tcp_shards = 4;
+  ChaosRig rig(opts, /*bulk_link=*/0);
+  rig.tb.run_until(2 * sim::kSecond);
+  ASSERT_GT(rig.receiver.bytes(), 0u);
+
+  rig.faults.inject(servers::kPfName, FaultType::Slowdown, 64.0);
+
+  const std::uint64_t bulk_before = rig.receiver.bytes();
+  rig.tb.run_until(4 * sim::kSecond);
+  const auto st = rig.stat_of(servers::kPfName);
+  EXPECT_GE(st.slowdown_resets + st.probe_resets + st.hang_resets, 1u)
+      << "no ladder rung caught the slowdown";
+  EXPECT_GE(st.restarts, 1u);
+  // The established bulk flow rides cached verdicts: it must have made real
+  // progress during the two seconds PF was degraded and restarting.
+  EXPECT_GT(rig.receiver.bytes(),
+            bulk_before + 10u * 1024u * 1024u)
+      << "fast-path flow starved while PF was slow";
+
+  // And PF service itself is healthy again: new flows still get verdicts.
+  rig.tb.run_until(6 * sim::kSecond);
+  EXPECT_TRUE(rig.tb.newtos().server(servers::kPfName)->ready());
+  const std::uint64_t ok_now = rig.ssh.ok();
+  rig.tb.run_until(7 * sim::kSecond);
+  EXPECT_GT(rig.ssh.ok(), ok_now);
+}
+
+// A compressed campaign: one fault of every manifestation class, each on a
+// fresh supervised testbed, each detected by the matching rung and healed
+// (or, for SyncHang, correctly reported as reboot-required) without any
+// manual restart.
+TEST(Chaos, CampaignSmokeCoversEveryManifestation) {
+  const struct {
+    const char* component;
+    FaultType type;
+  } cases[] = {
+      {servers::kTcpName, FaultType::Crash},
+      {servers::kIpName, FaultType::Hang},
+      {servers::kTcpName, FaultType::SilentWedge},
+      {servers::kPfName, FaultType::Slowdown},
+      {"drv0", FaultType::DeviceWedge},
+      {servers::kTcpName, FaultType::SyncHang},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(std::string(c.component) + " " + to_string(c.type));
+    ChaosRig rig(chaos_opts(), /*bulk_link=*/0);
+    rig.tb.run_until(2 * sim::kSecond);
+    const auto b = rig.stat_of(c.component);
+    const std::uint64_t wedge_b = rig.wedge_resets(c.component);
+    rig.faults.inject(c.component, c.type, 64.0);
+    rig.tb.run_until(8 * sim::kSecond);
+
+    const auto s = rig.stat_of(c.component);
+    switch (c.type) {
+      case FaultType::Crash:
+        EXPECT_GT(s.crashes, b.crashes);
+        break;
+      case FaultType::Hang:
+        EXPECT_GT(s.hang_resets, b.hang_resets);
+        break;
+      case FaultType::SilentWedge:
+        EXPECT_GT(s.probe_resets, b.probe_resets);
+        break;
+      case FaultType::Slowdown:
+        EXPECT_GT(s.slowdown_resets + s.probe_resets + s.hang_resets,
+                  b.slowdown_resets + b.probe_resets + b.hang_resets);
+        break;
+      case FaultType::DeviceWedge:
+        EXPECT_GT(rig.wedge_resets(c.component), wedge_b);
+        break;
+      case FaultType::SyncHang:
+        EXPECT_TRUE(rig.tb.newtos().requires_reboot());
+        break;
+    }
+    if (c.type == FaultType::SyncHang) continue;
+    // Healed: the component is back and both foreground services advance.
+    EXPECT_TRUE(rig.tb.newtos().server(c.component)->ready());
+    const std::uint64_t ok_now = rig.ssh.ok();
+    const std::uint64_t dns_now = rig.resolver.answered();
+    rig.tb.run_until(9 * sim::kSecond);
+    EXPECT_GT(rig.ssh.ok(), ok_now);
+    EXPECT_GT(rig.resolver.answered(), dns_now);
+  }
+}
+
+// Supervision stays strictly opt-in: with the knob off the reincarnation
+// server must keep its legacy shape — a silent wedge is NOT probed away
+// (the PR 5 manual-restart path still owns it).
+TEST(Chaos, SupervisionDefaultsOff) {
+  TestbedOptions opts;
+  opts.mode = StackMode::kSplitSyscall;
+  opts.nics = 1;
+  Testbed tb(opts);
+  AppActor* sshd_app = tb.newtos().add_app("sshd");
+  apps::EchoServer sshd(tb.newtos(), sshd_app, {});
+  sshd.start();
+  AppActor* ssh_app = tb.peer().add_app("ssh");
+  apps::EchoClient::Config ec;
+  ec.dst = tb.peer().peer_addr(0);
+  apps::EchoClient ssh(tb.peer(), ssh_app, ec);
+  ssh.start();
+  FaultInjector faults(tb.newtos(), 7);
+
+  tb.run_until(2 * sim::kSecond);
+  faults.inject(servers::kTcpName, FaultType::SilentWedge);
+  tb.run_until(5 * sim::kSecond);
+
+  const auto& stats = tb.newtos().reincarnation()->child_stats();
+  auto it = stats.find(servers::kTcpName);
+  if (it != stats.end()) {
+    EXPECT_EQ(it->second.probe_resets, 0u);
+    EXPECT_EQ(it->second.slowdown_resets, 0u);
+    EXPECT_EQ(it->second.restarts, 0u);
+  }
+  // The wedge is still there; the classic manual restart clears it (the
+  // client needs a couple of seconds to notice the reset and reconnect).
+  tb.newtos().manual_restart(servers::kTcpName);
+  tb.run_until(8 * sim::kSecond);
+  const std::uint64_t ok_now = ssh.ok();
+  tb.run_until(10 * sim::kSecond);
+  EXPECT_GT(ssh.ok(), ok_now);
+}
+
+}  // namespace

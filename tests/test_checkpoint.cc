@@ -259,6 +259,50 @@ struct FloodEcho {
   }
 };
 
+// A fleet of idle-but-established connections from one application actor:
+// enough distinct sockets to push the checkpoint directory past one storage
+// value without the traffic cost of 1500 live streams.
+struct ConnFleet {
+  AppActor* app;
+  net::Ipv4Addr dst;
+  int target;
+  std::vector<std::unique_ptr<TcpSocket>> socks;
+  int connected = 0;
+  int resets = 0;
+  int failures = 0;
+
+  ConnFleet(AppActor* a, net::Ipv4Addr d, int t)
+      : app(a), dst(d), target(t) {}
+
+  void start() {
+    app->call([this](sim::Context&) { kick(); });
+  }
+  void kick() {
+    // Batched dial-out: a single SYN flood of 1500 would overflow the
+    // accept backlog; 25 every 10 ms settles in well under a second.
+    for (int burst = 0; static_cast<int>(socks.size()) < target && burst < 25;
+         ++burst) {
+      open();
+    }
+    if (static_cast<int>(socks.size()) < target) {
+      app->call_after(10 * sim::kMillisecond,
+                      [this](sim::Context&) { kick(); });
+    }
+  }
+  void open() {
+    socks.push_back(std::make_unique<TcpSocket>(*app));
+    TcpSocket* s = socks.back().get();
+    s->on_event([this](net::TcpEvent ev) {
+      if (ev == net::TcpEvent::Connected) ++connected;
+      else if (ev == net::TcpEvent::Reset || ev == net::TcpEvent::Closed)
+        ++resets;
+    });
+    s->connect(dst, 22, [this](bool ok) {
+      if (!ok) ++failures;
+    });
+  }
+};
+
 }  // namespace
 
 // The headline: the checkpointing-on twin of
@@ -466,6 +510,40 @@ TEST(Checkpoint, StorageCrashThenTcpCrash) {
   EXPECT_TRUE(rig.ssh.connected());
   EXPECT_EQ(rig.ssh.resets(), 0u);
   EXPECT_EQ(rig.ssh.reconnects(), 1u);
+}
+
+// Past 1024 tracked connections the checkpoint directory no longer fits the
+// single storage value the first cut assumed: it must page into chained
+// directory keys (CheckpointWriter::kCkptDirPageSocks), count the spill in
+// tcp.ckpt_overflow, and a restore must walk the whole chain — every one of
+// 1500 connections comes back, none is reset.
+TEST(Checkpoint, DirectoryOverflowPagesAndRecoversAll) {
+  Testbed tb(ckpt_opts());
+  AppActor* sshd_app = tb.newtos().add_app("sshd");
+  apps::EchoServer sshd(tb.newtos(), sshd_app, {});
+  sshd.start();
+  AppActor* fleet_app = tb.peer().add_app("fleet");
+  ConnFleet fleet(fleet_app, tb.peer().peer_addr(0), 1500);
+  fleet.start();
+
+  FaultInjector faults(tb.newtos(), 7);
+  tb.run_until(4 * sim::kSecond);
+  ASSERT_EQ(fleet.failures, 0);
+  ASSERT_EQ(fleet.connected, 1500);
+  tb.newtos().publish_channel_stats();
+  EXPECT_GE(tb.newtos().stats().get("tcp.ckpt_overflow"), 1u)
+      << "1500 connections never spilled the directory";
+
+  faults.inject(servers::kTcpName, FaultType::Crash);
+  tb.run_until(10 * sim::kSecond);
+
+  std::uint64_t restored = 0;
+  for (int s = 0; s < tb.newtos().tcp_shard_count(); ++s) {
+    restored += tb.newtos().tcp_engine(s)->stats().conns_restored;
+  }
+  EXPECT_GE(restored, 1500u);
+  EXPECT_EQ(fleet.resets, 0);
+  EXPECT_EQ(fleet.connected, 1500);
 }
 
 // Checkpoint overhead is visible, bounded, and attributed: journal puts
