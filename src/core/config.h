@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/net/pf.h"
@@ -80,6 +81,18 @@ struct NodeConfig {
   // TCP server crash with only a throughput dip.
   bool tcp_checkpoint = false;
   std::uint32_t tcp_ckpt_watermark = 256 * 1024;
+  // Congestion-control algorithm for TCP connections on this node
+  // ("newreno" | "cubic" | "bbr").  The default reproduces the classic
+  // NewReno behaviour byte for byte; per-port overrides (matched against
+  // either the local or the peer port) let one node run a mix of
+  // algorithms, which is how the dumbbell fairness bench pits flows
+  // against each other.
+  std::string tcp_cc = "newreno";
+  std::vector<std::pair<std::uint16_t, std::string>> tcp_cc_by_port;
+  // Receiver-side out-of-order reassembly budget in segments.  Default 0
+  // keeps the classic drop-and-dup-ACK receiver; a WAN wire that reorders
+  // needs a few slots here so displaced frames do not masquerade as loss.
+  std::uint32_t tcp_ooo_queue = 0;
   // End-to-end work probes from the reincarnation server (synthetic echo
   // rs -> tcpN -> ip -> pf and back) so a silently wedged transport — the
   // one fault class heartbeats cannot see — is restarted automatically.

@@ -244,6 +244,9 @@ void Node::build() {
     sc.rules = make_rules();
     sc.tcp = cfg_.tcp;
     sc.tcp.tso = cfg_.tso;
+    sc.tcp.cc_algo = cfg_.tcp_cc;
+    sc.tcp.cc_by_port = cfg_.tcp_cc_by_port;
+    sc.tcp.ooo_queue_segs = cfg_.tcp_ooo_queue;
     sc.use_pf = cfg_.use_pf;
     sc.csum_offload = cfg_.csum_offload;
     sc.inline_drivers = inline_drivers;
@@ -284,6 +287,9 @@ void Node::build() {
 
     net::TcpOptions topts = cfg_.tcp;
     topts.tso = cfg_.tso;
+    topts.cc_algo = cfg_.tcp_cc;
+    topts.cc_by_port = cfg_.tcp_cc_by_port;
+    topts.ooo_queue_segs = cfg_.tcp_ooo_queue;
     // Transparent TCP recovery is a split-stack feature: a combined stack
     // dies as one unit and takes its own storage/pool context with it.
     topts.checkpoint = cfg_.tcp_checkpoint;
@@ -488,6 +494,34 @@ std::uint64_t Node::publish_channel_stats() {
     if (drv != nullptr) wedge_resets += drv->wedge_resets();
   }
   stats_.set("drv.wedge_resets", wedge_resets);
+  // Congestion-control observability, aggregated across the transport
+  // replicas: recovery entries, the instantaneous cwnd total, and how often
+  // the pacing timer had to hold the TX path back (non-zero only with a
+  // rate-based algorithm).
+  std::uint64_t cc_fast_retx = 0;
+  std::uint64_t cc_cwnd_now = 0;
+  std::uint64_t cc_pacing_delays = 0;
+  for (int s = 0; s < tcp_shard_count(); ++s) {
+    const net::TcpEngine* eng = tcp_engine(s);
+    if (eng == nullptr) continue;
+    cc_fast_retx += eng->stats().fast_retransmits;
+    cc_cwnd_now += eng->cwnd_sum();
+    cc_pacing_delays += eng->stats().pacing_delays;
+  }
+  stats_.set("tcp.cc.fast_retransmits", cc_fast_retx);
+  stats_.set("tcp.cc.cwnd_now", cc_cwnd_now);
+  stats_.set("tcp.cc.pacing_delays", cc_pacing_delays);
+  // Wire-level WAN emulation counters (0 on a plain LAN wire).
+  std::uint64_t wire_queue_drops = 0;
+  std::uint64_t wire_reordered = 0;
+  for (const auto& nic : nics_) {
+    const drv::Wire* w = nic->wire();
+    if (w == nullptr) continue;
+    wire_queue_drops += w->queue_drops();
+    wire_reordered += w->reordered();
+  }
+  stats_.set("wire.queue_drops", wire_queue_drops);
+  stats_.set("wire.reordered", wire_reordered);
   return total;
 }
 

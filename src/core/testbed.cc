@@ -68,6 +68,14 @@ Testbed::Testbed(const TestbedOptions& opts) {
   left.tcp_ckpt_watermark = opts.tcp_ckpt_watermark;
   left.work_probes = opts.work_probes;
   left.supervision = opts.supervision;
+  left.tcp_cc = opts.tcp_cc;
+  left.tcp_cc_by_port = opts.tcp_cc_by_port;
+  left.tcp_ooo_queue = opts.tcp_ooo_queue;
+  left.tcp.ssthresh_init = opts.tcp_ssthresh_init;
+  if (opts.tcp_buf_bytes > 0) {
+    left.tcp.sndbuf_max = opts.tcp_buf_bytes;
+    left.tcp.rcvbuf_max = opts.tcp_buf_bytes;
+  }
   left.left = true;
 
   NodeConfig right;
@@ -79,6 +87,14 @@ Testbed::Testbed(const TestbedOptions& opts) {
   right.csum_offload = true;
   right.use_pf = false;
   right.cost_scale = 0.1;
+  // The peer is usually the data receiver: it needs the same reassembly
+  // budget or a reordering wire would still look like loss to the sender.
+  right.tcp_ooo_queue = opts.tcp_ooo_queue;
+  right.tcp.ssthresh_init = opts.tcp_ssthresh_init;
+  if (opts.tcp_buf_bytes > 0) {
+    right.tcp.sndbuf_max = opts.tcp_buf_bytes;
+    right.tcp.rcvbuf_max = opts.tcp_buf_bytes;
+  }
   right.left = false;
 
   left_ = std::make_unique<Node>(sim_, left);
@@ -90,6 +106,11 @@ Testbed::Testbed(const TestbedOptions& opts) {
     wc.propagation = opts.wire_latency;
     wc.loss = opts.loss;
     wc.seed = opts.seed + static_cast<std::uint64_t>(i);
+    wc.bottleneck_bits_per_sec = opts.wire_bottleneck_gbps * 1e9;
+    wc.queue_frames = opts.wire_queue_frames;
+    wc.reorder = opts.wire_reorder;
+    wc.reorder_delay = opts.wire_reorder_delay;
+    wc.loss_post_queue = opts.wire_loss_post_queue;
     wires_.push_back(std::make_unique<drv::Wire>(sim_, wc));
     left_->attach_wire(i, wires_.back().get(), 0);
     right_->attach_wire(i, wires_.back().get(), 1);

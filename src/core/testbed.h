@@ -5,6 +5,8 @@
 #pragma once
 
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/node.h"
@@ -46,6 +48,26 @@ struct TestbedOptions {
   bool supervision = false;
   sim::Time wire_latency = 20 * sim::kMicrosecond;
   std::uint64_t seed = 42;
+  // Congestion control on the system under test ("newreno"|"cubic"|"bbr"),
+  // with optional per-port overrides so a dumbbell bench can mix flows.
+  std::string tcp_cc = "newreno";
+  std::vector<std::pair<std::uint16_t, std::string>> tcp_cc_by_port;
+  // Receiver-side reassembly budget (segments) — applied to BOTH nodes,
+  // since either side may be the data receiver.  Default 0: classic
+  // drop-and-dup-ACK receiver, byte for byte.
+  std::uint32_t tcp_ooo_queue = 0;
+  // Initial ssthresh (bytes; 0 = classic unbounded slow start) and an
+  // override for both nodes' snd/rcv buffer caps (0 = the 1 MB default) —
+  // the knobs a shallow-buffer WAN bench uses to keep SACK-less loss
+  // recovery out of the one-hole-per-RTT regime.
+  std::uint32_t tcp_ssthresh_init = 0;
+  std::uint32_t tcp_buf_bytes = 0;
+  // WAN wire emulation (applied to every link; all off by default).
+  double wire_bottleneck_gbps = 0.0;    // slow-hop rate; 0 = line rate
+  std::uint32_t wire_queue_frames = 0;  // bottleneck FIFO bound; 0 = none
+  double wire_reorder = 0.0;            // reordering probability
+  sim::Time wire_reorder_delay = 50 * sim::kMicrosecond;
+  bool wire_loss_post_queue = false;    // loss only for queued frames
 };
 
 class Testbed {

@@ -123,6 +123,9 @@ class SimNic {
   bool coalescing() const { return cfg_.rx_coalesce_frames > 1; }
   int rx_queue_count() const { return num_queues_; }
   const Config& config() const { return cfg_; }
+  // The attached link, for wire-level observability (queue drops, reorders).
+  Wire* wire() const { return wire_; }
+  int wire_end() const { return wire_end_; }
 
   // Posts a frame descriptor; false when the TX ring is full.
   bool tx_post(net::TxFrame frame, std::uint64_t cookie);

@@ -1,0 +1,334 @@
+// BBR-style rate-based congestion control (Cardwell et al., "BBR:
+// Congestion-Based Congestion Control", ACM Queue 2016), reduced to the
+// pieces the simulator can exercise:
+//
+//  - a windowed-max delivery-rate filter (bytes delivered per packet-timed
+//    round / round duration, max over the last 10 rounds) estimates
+//    bottleneck bandwidth; averaging over a whole round keeps access-link
+//    bursts from inflating the estimate the way pairwise ACK spacing would;
+//  - a windowed-min RTT filter (10 s expiry) estimates the propagation
+//    delay; expiry enters PROBE_RTT (cwnd pinned to 4 segments until the
+//    pipe drains) so the refreshed sample measures propagation, not the
+//    standing queue the flow itself built;
+//  - the STARTUP (gain 2.885) -> DRAIN -> PROBE_BW eight-phase gain cycle
+//    drives pacing_rate = pacing_gain * max_bw, which the engine enforces
+//    with a per-connection pacing timer in the TX path;
+//  - cwnd is capped at cwnd_gain * BDP, so the bottleneck FIFO is kept
+//    near-empty instead of full — the queue-occupancy contrast with CUBIC
+//    that bench_cc measures.
+//
+// Loss is not a primary signal: fast-recovery entry/exit keep the model
+// (an RTO still collapses cwnd until the model re-fills it).
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/net/cc/congestion.h"
+
+namespace newtos::net::cc {
+
+namespace {
+
+class Bbr final : public CongestionControl {
+ public:
+  static constexpr double kHighGain = 2.885;  // 2/ln(2): fills the pipe fast
+  static constexpr double kDrainGain = 1.0 / kHighGain;
+  static constexpr int kCycleLen = 8;
+  static constexpr int kBwWindowRounds = 10;
+  static constexpr sim::Time kMinRttExpiry = 10 * sim::kSecond;
+  static constexpr sim::Time kProbeRttDuration = 200 * sim::kMillisecond;
+
+  explicit Bbr(const CcConfig& cfg)
+      : mss_(cfg.mss), initial_cwnd_(cfg.initial_cwnd),
+        cwnd_(cfg.initial_cwnd) {}
+
+  Algo algo() const override { return Algo::kBbr; }
+  const char* name() const override { return "bbr"; }
+  std::uint32_t cwnd() const override { return cwnd_; }
+  // BBR has no ssthresh; report "infinite" so engine diagnostics make sense.
+  std::uint32_t ssthresh() const override { return 0x7fffffff; }
+
+  std::uint64_t pacing_rate() const override {
+    const std::uint64_t bw = max_bw();
+    if (bw == 0) return 0;  // model not warmed up: stay window-limited
+    return static_cast<std::uint64_t>(pacing_gain_ *
+                                      static_cast<double>(bw));
+  }
+
+  void on_rtt_sample(sim::Time rtt, sim::Time now) override {
+    if (min_rtt_ == 0 || rtt <= min_rtt_) {
+      min_rtt_ = rtt;
+      min_rtt_stamp_ = now;
+    } else if (mode_ == Mode::kProbeRtt && probe_rtt_done_ != 0) {
+      // Pipe drained: this sample measures propagation, take it as the
+      // refreshed floor even though it is above the (expired) old one.
+      min_rtt_ = rtt;
+      min_rtt_stamp_ = now;
+    }
+  }
+
+  void on_ack(std::uint32_t acked, std::uint32_t flight,
+              sim::Time now) override {
+    delivered_ += acked;
+
+    // Packet-timed rounds: one round per flight's worth of delivery.  The
+    // delivery-rate sample is the whole round's bytes over its duration —
+    // a full RTT of averaging, so a burst that momentarily drains at the
+    // access rate does not masquerade as bottleneck bandwidth.
+    bool round_start = false;
+    if (delivered_ >= next_round_delivered_) {
+      round_start = true;
+      if (round_time_ != 0 && now > round_time_) {
+        const std::uint64_t bw =
+            (delivered_ - round_delivered_) *
+            static_cast<std::uint64_t>(sim::kSecond) /
+            static_cast<std::uint64_t>(now - round_time_);
+        round_bw_[round_count_ % kBwWindowRounds] = bw;
+      }
+      round_time_ = now;
+      round_delivered_ = delivered_;
+      ++round_count_;
+      next_round_delivered_ = delivered_ + flight;
+    }
+
+    update_mode(round_start, flight, now);
+    update_cwnd(acked);
+  }
+
+  void on_enter_recovery(std::uint32_t flight, sim::Time now) override {
+    (void)flight;
+    (void)now;
+    // Loss is not a primary signal; the rate model stands.  Modest cap so
+    // a genuinely collapsing path is not hammered.
+    cwnd_ = std::max(cwnd_ - cwnd_ / 8, 4u * mss_);
+  }
+
+  void on_partial_ack(std::uint32_t acked, sim::Time now) override {
+    // Keep the model fresh through recovery (flight unknown here; rounds
+    // simply advance faster, which only shortens the bw filter's memory).
+    on_ack(acked, 0, now);
+  }
+
+  void on_exit_recovery(sim::Time now) override { (void)now; }
+
+  void on_rto(std::uint32_t flight, sim::Time now) override {
+    (void)flight;
+    (void)now;
+    // Go-back-N restart: one segment out, the model refills cwnd as ACKs
+    // return.
+    cwnd_ = mss_;
+  }
+
+  struct Blob {
+    std::uint8_t mode = 0;
+    std::uint8_t cycle_idx = 0;
+    std::uint16_t pad = 0;
+    std::uint32_t full_bw_cnt = 0;
+    std::uint32_t cwnd = 0;
+    std::uint32_t pad2 = 0;
+    std::uint64_t max_bw = 0;
+    std::int64_t min_rtt = 0;
+    std::int64_t min_rtt_stamp = 0;
+    std::uint64_t full_bw = 0;
+    std::uint64_t delivered = 0;
+    std::int64_t cycle_stamp = 0;
+  };
+  static_assert(sizeof(Blob) <= kCcBlobMax);
+
+  std::size_t serialize(std::span<std::byte> out) const override {
+    if (out.size() < sizeof(Blob)) return 0;
+    Blob b;
+    b.mode = static_cast<std::uint8_t>(mode_);
+    b.cycle_idx = static_cast<std::uint8_t>(cycle_idx_);
+    b.full_bw_cnt = full_bw_cnt_;
+    b.cwnd = cwnd_;
+    b.max_bw = max_bw();
+    b.min_rtt = min_rtt_;
+    b.min_rtt_stamp = min_rtt_stamp_;
+    b.full_bw = full_bw_;
+    b.delivered = delivered_;
+    b.cycle_stamp = cycle_stamp_;
+    std::memcpy(out.data(), &b, sizeof b);
+    return sizeof b;
+  }
+
+  bool deserialize(std::span<const std::byte> in) override {
+    if (in.size() < sizeof(Blob)) return false;
+    Blob b;
+    std::memcpy(&b, in.data(), sizeof b);
+    if (b.mode > static_cast<std::uint8_t>(Mode::kProbeRtt) ||
+        b.cycle_idx >= kCycleLen || b.cwnd < mss_) {
+      return false;
+    }
+    mode_ = static_cast<Mode>(b.mode);
+    // PROBE_RTT is a transient pause keyed to pre-crash flight; resume
+    // cruising instead of waiting on a drain that already happened.
+    if (mode_ == Mode::kProbeRtt) mode_ = Mode::kProbeBw;
+    cycle_idx_ = b.cycle_idx;
+    full_bw_cnt_ = b.full_bw_cnt;
+    cwnd_ = b.cwnd;
+    min_rtt_ = b.min_rtt;
+    min_rtt_stamp_ = b.min_rtt_stamp;
+    full_bw_ = b.full_bw;
+    delivered_ = b.delivered;
+    next_round_delivered_ = delivered_;
+    cycle_stamp_ = b.cycle_stamp;
+    // Re-seed the windowed filter from the single surviving max.
+    for (auto& slot : round_bw_) slot = b.max_bw;
+    apply_gains();
+    return true;
+  }
+
+ private:
+  enum class Mode : std::uint8_t {
+    kStartup = 0,
+    kDrain = 1,
+    kProbeBw = 2,
+    kProbeRtt = 3,
+  };
+
+  static constexpr double kCyclePacingGain[kCycleLen] = {
+      1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+
+  std::uint64_t max_bw() const {
+    std::uint64_t m = 0;
+    for (const std::uint64_t bw : round_bw_) m = std::max(m, bw);
+    return m;
+  }
+
+  std::uint64_t bdp_bytes() const {
+    if (min_rtt_ <= 0) return 0;
+    return max_bw() * static_cast<std::uint64_t>(min_rtt_) /
+           static_cast<std::uint64_t>(sim::kSecond);
+  }
+
+  void apply_gains() {
+    switch (mode_) {
+      case Mode::kStartup:
+        pacing_gain_ = kHighGain;
+        cwnd_gain_ = kHighGain;
+        break;
+      case Mode::kDrain:
+        pacing_gain_ = kDrainGain;
+        cwnd_gain_ = kHighGain;
+        break;
+      case Mode::kProbeBw:
+        pacing_gain_ = kCyclePacingGain[cycle_idx_];
+        cwnd_gain_ = 2.0;
+        break;
+      case Mode::kProbeRtt:
+        pacing_gain_ = 1.0;
+        cwnd_gain_ = 1.0;  // cwnd is pinned in update_cwnd()
+        break;
+    }
+  }
+
+  void update_mode(bool round_start, std::uint32_t flight, sim::Time now) {
+    if (mode_ == Mode::kStartup) {
+      if (round_start) {
+        // Pipe full when bandwidth stopped growing >= 25% for 3 rounds.
+        if (max_bw() >= full_bw_ + full_bw_ / 4) {
+          full_bw_ = max_bw();
+          full_bw_cnt_ = 0;
+        } else if (full_bw_ > 0 && ++full_bw_cnt_ >= 3) {
+          mode_ = Mode::kDrain;
+        }
+      }
+    } else if (mode_ == Mode::kDrain) {
+      if (flight <= bdp_bytes()) {
+        mode_ = Mode::kProbeBw;
+        cycle_idx_ = 0;
+        cycle_stamp_ = now;
+      }
+    } else if (mode_ == Mode::kProbeBw) {
+      if (round_start && full_bw_ > 0 && max_bw() < full_bw_ / 2) {
+        // Our delivery rate collapsed far below the ceiling we once
+        // established (an RTO, or another flow crowding us out).  The
+        // 1.25-gain probe cannot climb out of a deep hole — its 25% of a
+        // collapsed estimate is noise — so probe for the ceiling from
+        // scratch instead of cruising at starvation rate.
+        mode_ = Mode::kStartup;
+        full_bw_ = 0;
+        full_bw_cnt_ = 0;
+      } else if (min_rtt_ != 0 && now - min_rtt_stamp_ > kMinRttExpiry) {
+        // The RTT floor is stale; drain to 4 segments and re-measure it
+        // with the standing queue (ours included) gone.
+        mode_ = Mode::kProbeRtt;
+        probe_rtt_done_ = 0;
+      } else {
+        // Advance one gain phase per min-RTT.
+        const sim::Time phase =
+            min_rtt_ > 0 ? min_rtt_ : 10 * sim::kMillisecond;
+        if (now - cycle_stamp_ > phase) {
+          cycle_idx_ = (cycle_idx_ + 1) % kCycleLen;
+          cycle_stamp_ = now;
+        }
+      }
+    } else {  // kProbeRtt
+      if (probe_rtt_done_ == 0) {
+        if (flight <= 4u * mss_) probe_rtt_done_ = now + kProbeRttDuration;
+      } else if (now >= probe_rtt_done_) {
+        min_rtt_stamp_ = now;  // refreshed (or confirmed) floor
+        mode_ = Mode::kProbeBw;
+        cycle_idx_ = 0;
+        cycle_stamp_ = now;
+      }
+    }
+    apply_gains();
+  }
+
+  void update_cwnd(std::uint32_t acked) {
+    const std::uint64_t bdp = bdp_bytes();
+    if (bdp == 0) {
+      // Model not warmed up: grow like slow start so samples keep coming.
+      cwnd_ = std::max(cwnd_ + acked, initial_cwnd_);
+      return;
+    }
+    if (mode_ == Mode::kProbeRtt) {
+      cwnd_ = 4u * mss_;
+      return;
+    }
+    const std::uint64_t target = static_cast<std::uint64_t>(
+        cwnd_gain_ * static_cast<double>(bdp));
+    std::uint32_t next = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(target, 0x7fffffffu));
+    if (mode_ == Mode::kStartup) {
+      // Never shrink while still probing for the ceiling.
+      next = std::max(next, cwnd_ + acked);
+    }
+    cwnd_ = std::max(next, 4u * mss_);
+  }
+
+  std::uint32_t mss_;
+  std::uint32_t initial_cwnd_;
+  std::uint32_t cwnd_;
+
+  // Model.
+  std::uint64_t round_bw_[kBwWindowRounds] = {};
+  std::uint64_t delivered_ = 0;
+  std::uint64_t next_round_delivered_ = 0;
+  std::uint64_t round_count_ = 0;
+  std::uint64_t round_delivered_ = 0;  // delivered_ at round start
+  sim::Time round_time_ = 0;           // round start time
+  sim::Time min_rtt_ = 0;
+  sim::Time min_rtt_stamp_ = 0;
+
+  // State machine.
+  Mode mode_ = Mode::kStartup;
+  double pacing_gain_ = kHighGain;
+  double cwnd_gain_ = kHighGain;
+  std::uint64_t full_bw_ = 0;
+  std::uint32_t full_bw_cnt_ = 0;
+  int cycle_idx_ = 0;
+  sim::Time cycle_stamp_ = 0;
+  sim::Time probe_rtt_done_ = 0;  // 0 = still draining to 4 segments
+};
+
+}  // namespace
+
+std::unique_ptr<CongestionControl> make_bbr(const CcConfig& cfg) {
+  return std::make_unique<Bbr>(cfg);
+}
+
+}  // namespace newtos::net::cc

@@ -1,0 +1,44 @@
+// Factory/dispatch for the congestion-control modules.
+
+#include "src/net/cc/congestion.h"
+
+namespace newtos::net::cc {
+
+std::unique_ptr<CongestionControl> make_newreno(const CcConfig& cfg);
+std::unique_ptr<CongestionControl> make_cubic(const CcConfig& cfg);
+std::unique_ptr<CongestionControl> make_bbr(const CcConfig& cfg);
+
+std::unique_ptr<CongestionControl> make(Algo algo, const CcConfig& cfg) {
+  switch (algo) {
+    case Algo::kNewReno: return make_newreno(cfg);
+    case Algo::kCubic: return make_cubic(cfg);
+    case Algo::kBbr: return make_bbr(cfg);
+    case Algo::kNone: break;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<CongestionControl> make(std::string_view algo,
+                                        const CcConfig& cfg) {
+  if (algo == "newreno" || algo == "reno") return make_newreno(cfg);
+  if (algo == "cubic") return make_cubic(cfg);
+  if (algo == "bbr") return make_bbr(cfg);
+  return nullptr;
+}
+
+bool known(std::string_view algo) {
+  return algo == "newreno" || algo == "reno" || algo == "cubic" ||
+         algo == "bbr";
+}
+
+const char* to_string(Algo algo) {
+  switch (algo) {
+    case Algo::kNone: return "none";
+    case Algo::kNewReno: return "newreno";
+    case Algo::kCubic: return "cubic";
+    case Algo::kBbr: return "bbr";
+  }
+  return "?";
+}
+
+}  // namespace newtos::net::cc

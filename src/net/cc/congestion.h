@@ -1,0 +1,115 @@
+// Pluggable congestion control for the TCP engine.
+//
+// The engine owns the loss-recovery *machinery* (dup-ACK counting, the
+// NewReno recovery point, which segment to retransmit); a CongestionControl
+// module owns the *window policy*: how cwnd/ssthresh respond to ACKs,
+// losses and timeouts, and — for rate-based controllers — the pacing rate
+// the TX path must not exceed.  The engine mirrors cwnd()/ssthresh() into
+// its Conn after every hook, so tcp_output() and the diagnostics read the
+// same fields they always did.
+//
+// The default NewReno module reproduces the previously inlined cwnd math
+// byte for byte: with tcp_cc == "newreno" every deterministic benchmark row
+// is unchanged.
+//
+// State is serializable into a small fixed-size blob so transparent TCP
+// recovery (src/servers/checkpoint.h) can carry the learned window and rate
+// across a TCP-server crash instead of restarting from initial-cwnd.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "src/sim/time.h"
+
+namespace newtos::net::cc {
+
+// Wire-stable algorithm ids (stored in checkpoint blobs; never renumber).
+enum class Algo : std::uint8_t {
+  kNone = 0,
+  kNewReno = 1,
+  kCubic = 2,
+  kBbr = 3,
+};
+
+// Upper bound on an algorithm's private serialized state.  Sized for the
+// largest module (BBR) with headroom; a static_assert in each module keeps
+// this honest.
+inline constexpr std::size_t kCcBlobMax = 96;
+
+struct CcConfig {
+  std::uint32_t mss = 1460;
+  std::uint32_t initial_cwnd = 10 * 1460;  // bytes
+  // Initial ssthresh in bytes (a cached path estimate); 0 = unbounded slow
+  // start, the classic behaviour.  Loss-based modules clamp to >= 2*mss.
+  std::uint32_t ssthresh_init = 0;
+};
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  virtual Algo algo() const = 0;
+  virtual const char* name() const = 0;
+
+  // --- outputs ---------------------------------------------------------------------
+  virtual std::uint32_t cwnd() const = 0;
+  virtual std::uint32_t ssthresh() const = 0;
+  // Pacing rate in bytes/second; 0 means unpaced (pure window limiting).
+  // Only rate-based controllers (BBR) return non-zero, so the loss-based
+  // modules add no pacing-timer work to the TX path.
+  virtual std::uint64_t pacing_rate() const { return 0; }
+
+  // --- hooks (all byte counts; `flight` = snd_nxt - snd_una) -----------------------
+  // Cumulative ACK of `acked` new bytes outside fast recovery.
+  virtual void on_ack(std::uint32_t acked, std::uint32_t flight,
+                      sim::Time now) = 0;
+  // The engine took a clean RTT sample (Karn's rule already applied).
+  virtual void on_rtt_sample(sim::Time rtt, sim::Time now) {
+    (void)rtt;
+    (void)now;
+  }
+  // Duplicate ACK; `in_recovery` is true once fast recovery has begun
+  // (NewReno inflates cwnd by one segment per further dup ACK).
+  virtual void on_dup_ack(bool in_recovery, std::uint32_t flight,
+                          sim::Time now) {
+    (void)in_recovery;
+    (void)flight;
+    (void)now;
+  }
+  // Third duplicate ACK: the engine enters fast recovery and retransmits.
+  virtual void on_enter_recovery(std::uint32_t flight, sim::Time now) = 0;
+  // Partial ACK during fast recovery (RFC 6582 deflation).
+  virtual void on_partial_ack(std::uint32_t acked, sim::Time now) = 0;
+  // The recovery point was fully ACKed.
+  virtual void on_exit_recovery(sim::Time now) = 0;
+  // Retransmission timeout (`flight` sampled before the go-back-N rewind).
+  virtual void on_rto(std::uint32_t flight, sim::Time now) = 0;
+  // One data segment handed to the TX path (first transmit or retransmit).
+  virtual void on_sent(std::uint32_t bytes, std::uint32_t flight,
+                       sim::Time now) {
+    (void)bytes;
+    (void)flight;
+    (void)now;
+  }
+
+  // --- checkpoint blob --------------------------------------------------------------
+  // Writes the algorithm-private state into `out` (at least kCcBlobMax
+  // bytes); returns the bytes used.  deserialize() accepts exactly what
+  // serialize() produced and returns false on a malformed blob (the caller
+  // then falls back to conservative fresh state).
+  virtual std::size_t serialize(std::span<std::byte> out) const = 0;
+  virtual bool deserialize(std::span<const std::byte> in) = 0;
+};
+
+// Factories.  make() returns nullptr for an unknown algorithm name/id.
+std::unique_ptr<CongestionControl> make(std::string_view algo,
+                                        const CcConfig& cfg);
+std::unique_ptr<CongestionControl> make(Algo algo, const CcConfig& cfg);
+bool known(std::string_view algo);
+const char* to_string(Algo algo);
+
+}  // namespace newtos::net::cc

@@ -1,0 +1,179 @@
+// CUBIC (RFC 8312).  The window grows as a cubic function of the time
+// since the last congestion event: concave up to the pre-loss plateau
+// W_max, then convex while probing beyond it.  Loss responses use the
+// CUBIC multiplicative factor beta = 0.7 (vs Reno's 0.5) with fast
+// convergence, and a TCP-friendly lower bound keeps it no worse than Reno
+// on short-RTT paths.
+//
+// Recovery mechanics (inflation on dup ACKs, deflation on partial ACKs)
+// stay Reno-compatible because the engine's NewReno recovery machinery
+// drives every module the same way; CUBIC plugs in only the window policy.
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/net/cc/congestion.h"
+
+namespace newtos::net::cc {
+
+namespace {
+
+class Cubic final : public CongestionControl {
+ public:
+  static constexpr double kC = 0.4;     // RFC 8312 scaling constant
+  static constexpr double kBeta = 0.7;  // multiplicative decrease
+
+  explicit Cubic(const CcConfig& cfg)
+      : mss_(cfg.mss), cwnd_(cfg.initial_cwnd) {
+    if (cfg.ssthresh_init > 0)
+      ssthresh_ = std::max(cfg.ssthresh_init, 2u * mss_);
+  }
+
+  Algo algo() const override { return Algo::kCubic; }
+  const char* name() const override { return "cubic"; }
+  std::uint32_t cwnd() const override { return cwnd_; }
+  std::uint32_t ssthresh() const override { return ssthresh_; }
+
+  void on_rtt_sample(sim::Time rtt, sim::Time now) override {
+    (void)now;
+    last_rtt_ = rtt;
+  }
+
+  void on_ack(std::uint32_t acked, std::uint32_t flight,
+              sim::Time now) override {
+    (void)flight;
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += std::min(acked, 2u * mss_ * 16u);  // slow start, as Reno
+      return;
+    }
+    const double seg = static_cast<double>(mss_);
+    const double cwnd_seg = static_cast<double>(cwnd_) / seg;
+    if (epoch_start_ == 0) {
+      // New congestion-avoidance epoch (first ACK after a loss event or
+      // after leaving slow start).
+      epoch_start_ = now;
+      if (w_max_ < cwnd_seg) {
+        w_max_ = cwnd_seg;
+        k_ = 0.0;
+      } else {
+        k_ = std::cbrt(w_max_ * (1.0 - kBeta) / kC);
+      }
+    }
+    const double rtt_s =
+        last_rtt_ > 0 ? static_cast<double>(last_rtt_) / 1e9 : 0.1;
+    // Target window one RTT ahead (RFC 8312 section 4.1).
+    const double t =
+        static_cast<double>(now - epoch_start_) / 1e9 + rtt_s;
+    const double target = kC * std::pow(t - k_, 3) + w_max_;
+    // TCP-friendly region (section 4.2): never slower than an equivalent
+    // AIMD flow with the CUBIC beta.
+    const double w_est =
+        w_max_ * kBeta + (3.0 * (1.0 - kBeta) / (1.0 + kBeta)) * (t / rtt_s);
+    const double desired = std::max(target, w_est);
+    const double acked_segs = static_cast<double>(acked) / seg;
+    if (desired > cwnd_seg) {
+      const double inc_segs = (desired - cwnd_seg) / cwnd_seg * acked_segs;
+      cwnd_ += std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(inc_segs * seg));
+    } else {
+      // At/above the target: probe minimally while the plateau lasts.
+      cwnd_ += 1;
+    }
+  }
+
+  void on_dup_ack(bool in_recovery, std::uint32_t flight,
+                  sim::Time now) override {
+    (void)flight;
+    (void)now;
+    if (in_recovery) cwnd_ += mss_;
+  }
+
+  void on_enter_recovery(std::uint32_t flight, sim::Time now) override {
+    (void)flight;
+    (void)now;
+    loss_epoch(/*timeout=*/false);
+  }
+
+  void on_partial_ack(std::uint32_t acked, sim::Time now) override {
+    (void)now;
+    cwnd_ = (cwnd_ > acked ? cwnd_ - acked : mss_) + mss_;
+  }
+
+  void on_exit_recovery(sim::Time now) override {
+    (void)now;
+    cwnd_ = ssthresh_;
+  }
+
+  void on_rto(std::uint32_t flight, sim::Time now) override {
+    (void)flight;
+    (void)now;
+    loss_epoch(/*timeout=*/true);
+  }
+
+  struct Blob {
+    std::uint32_t cwnd = 0;
+    std::uint32_t ssthresh = 0;
+    double w_max = 0.0;
+    double k = 0.0;
+    std::int64_t epoch_start = 0;  // absolute sim time; 0 = no epoch
+    std::int64_t last_rtt = 0;
+  };
+  static_assert(sizeof(Blob) <= kCcBlobMax);
+
+  std::size_t serialize(std::span<std::byte> out) const override {
+    if (out.size() < sizeof(Blob)) return 0;
+    Blob b{cwnd_, ssthresh_, w_max_, k_, epoch_start_, last_rtt_};
+    std::memcpy(out.data(), &b, sizeof b);
+    return sizeof b;
+  }
+
+  bool deserialize(std::span<const std::byte> in) override {
+    if (in.size() < sizeof(Blob)) return false;
+    Blob b;
+    std::memcpy(&b, in.data(), sizeof b);
+    if (b.cwnd < mss_ || !(b.w_max >= 0.0) || !(b.k >= 0.0)) return false;
+    cwnd_ = b.cwnd;
+    ssthresh_ = b.ssthresh;
+    w_max_ = b.w_max;
+    k_ = b.k;
+    epoch_start_ = b.epoch_start;
+    last_rtt_ = b.last_rtt;
+    return true;
+  }
+
+ private:
+  void loss_epoch(bool timeout) {
+    const double cwnd_seg = static_cast<double>(cwnd_) / mss_;
+    // Fast convergence: a loss below the old plateau means capacity
+    // shrank — release the extra share to the new flow.
+    if (cwnd_seg < w_max_) {
+      w_max_ = cwnd_seg * (2.0 - kBeta) / 2.0;
+    } else {
+      w_max_ = cwnd_seg;
+    }
+    epoch_start_ = 0;
+    ssthresh_ = std::max(
+        static_cast<std::uint32_t>(static_cast<double>(cwnd_) * kBeta),
+        2u * mss_);
+    // Fast retransmit inflates by the three dup ACKs already seen (Reno
+    // mechanics); a timeout collapses to one segment.
+    cwnd_ = timeout ? mss_ : ssthresh_ + 3 * mss_;
+  }
+
+  std::uint32_t mss_;
+  std::uint32_t cwnd_;
+  std::uint32_t ssthresh_ = 0x7fffffff;
+  double w_max_ = 0.0;          // segments
+  double k_ = 0.0;              // seconds
+  sim::Time epoch_start_ = 0;   // 0 = no active epoch
+  sim::Time last_rtt_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<CongestionControl> make_cubic(const CcConfig& cfg) {
+  return std::make_unique<Cubic>(cfg);
+}
+
+}  // namespace newtos::net::cc

@@ -1,0 +1,106 @@
+// NewReno (RFC 5681 + RFC 6582), extracted verbatim from the engine's
+// previously inlined cwnd math.  This module is the default and MUST keep
+// reproducing the deterministic benchmark rows byte for byte: every
+// arithmetic expression below matches the old TcpEngine code exactly.
+
+#include <cstring>
+
+#include "src/net/cc/congestion.h"
+
+namespace newtos::net::cc {
+
+namespace {
+
+class NewReno final : public CongestionControl {
+ public:
+  explicit NewReno(const CcConfig& cfg)
+      : mss_(cfg.mss), cwnd_(cfg.initial_cwnd) {
+    if (cfg.ssthresh_init > 0)
+      ssthresh_ = std::max(cfg.ssthresh_init, 2u * mss_);
+  }
+
+  Algo algo() const override { return Algo::kNewReno; }
+  const char* name() const override { return "newreno"; }
+  std::uint32_t cwnd() const override { return cwnd_; }
+  std::uint32_t ssthresh() const override { return ssthresh_; }
+
+  void on_ack(std::uint32_t acked, std::uint32_t flight,
+              sim::Time now) override {
+    (void)flight;
+    (void)now;
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += std::min(acked, 2u * mss_ * 16u);  // slow start
+    } else {
+      cwnd_ += std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(
+                 static_cast<std::uint64_t>(mss_) * acked / cwnd_));
+    }
+  }
+
+  void on_dup_ack(bool in_recovery, std::uint32_t flight,
+                  sim::Time now) override {
+    (void)flight;
+    (void)now;
+    if (in_recovery) cwnd_ += mss_;  // inflate during fast recovery
+  }
+
+  void on_enter_recovery(std::uint32_t flight, sim::Time now) override {
+    (void)now;
+    ssthresh_ = std::max(flight / 2, 2u * mss_);
+    cwnd_ = ssthresh_ + 3 * mss_;
+  }
+
+  void on_partial_ack(std::uint32_t acked, sim::Time now) override {
+    (void)now;
+    // Deflate by the amount ACKed, then inflate by one segment.
+    cwnd_ = (cwnd_ > acked ? cwnd_ - acked : mss_) + mss_;
+  }
+
+  void on_exit_recovery(sim::Time now) override {
+    (void)now;
+    cwnd_ = ssthresh_;
+  }
+
+  void on_rto(std::uint32_t flight, sim::Time now) override {
+    (void)now;
+    // Classic Reno timeout: collapse to one segment, go-back-N.
+    ssthresh_ = std::max(flight / 2, 2u * mss_);
+    cwnd_ = mss_;
+  }
+
+  struct Blob {
+    std::uint32_t cwnd = 0;
+    std::uint32_t ssthresh = 0;
+  };
+  static_assert(sizeof(Blob) <= kCcBlobMax);
+
+  std::size_t serialize(std::span<std::byte> out) const override {
+    if (out.size() < sizeof(Blob)) return 0;
+    Blob b{cwnd_, ssthresh_};
+    std::memcpy(out.data(), &b, sizeof b);
+    return sizeof b;
+  }
+
+  bool deserialize(std::span<const std::byte> in) override {
+    if (in.size() < sizeof(Blob)) return false;
+    Blob b;
+    std::memcpy(&b, in.data(), sizeof b);
+    if (b.cwnd < mss_) return false;
+    cwnd_ = b.cwnd;
+    ssthresh_ = b.ssthresh;
+    return true;
+  }
+
+ private:
+  std::uint32_t mss_;
+  std::uint32_t cwnd_;
+  std::uint32_t ssthresh_ = 0x7fffffff;
+};
+
+}  // namespace
+
+std::unique_ptr<CongestionControl> make_newreno(const CcConfig& cfg) {
+  return std::make_unique<NewReno>(cfg);
+}
+
+}  // namespace newtos::net::cc

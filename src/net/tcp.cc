@@ -34,8 +34,10 @@ TcpEngine::~TcpEngine() {
     if (c.rto_timer) env_.timers->cancel(c.rto_timer);
     if (c.ack_timer) env_.timers->cancel(c.ack_timer);
     if (c.timewait_timer) env_.timers->cancel(c.timewait_timer);
+    if (c.pace_timer) env_.timers->cancel(c.pace_timer);
     for (auto& sc : c.sndq) release_payload(sc.chunk);
     for (auto& rc : c.rcvq) env_.rx_done(rc.frame);
+    for (auto& [seq, rc] : c.ooo) env_.rx_done(rc.frame);
   }
   for (auto& [cookie, hdr] : hdr_inflight_) env_.buf_pool->release(hdr);
 }
@@ -106,6 +108,20 @@ TcpCheckpointSink::Scalars TcpEngine::ckpt_scalars_of(const Conn& c) const {
   s.rcv_nxt = c.rcv_nxt;
   s.peer_fin = c.peer_fin;
   s.fin_queued = c.fin_queued;
+  // Congestion-control snapshot: restored connections resume at their
+  // learned window and RTT instead of the conservative restart.
+  if (c.cc != nullptr) {
+    std::byte buf[cc::kCcBlobMax];
+    const std::size_t n = c.cc->serialize(buf);
+    if (n > 0 && n <= sizeof s.cc.data) {
+      s.cc.algo = static_cast<std::uint8_t>(c.cc->algo());
+      s.cc.len = static_cast<std::uint8_t>(n);
+      s.cc.srtt = c.srtt;
+      s.cc.rttvar = c.rttvar;
+      s.cc.rto = c.rto;
+      std::memcpy(s.cc.data, buf, n);
+    }
+  }
   return s;
 }
 
@@ -147,8 +163,14 @@ void TcpEngine::park_checkpointed() {
     if (c.rto_timer) env_.timers->cancel(c.rto_timer);
     if (c.ack_timer) env_.timers->cancel(c.ack_timer);
     if (c.timewait_timer) env_.timers->cancel(c.timewait_timer);
+    if (c.pace_timer) env_.timers->cancel(c.pace_timer);
     c.sndq.clear();
     c.rcvq.clear();
+    // Reassembly frames are NOT on the loan ledger (never checkpointed):
+    // release them directly — the dying host has no handler context for
+    // rx_done IPC, and the peer retransmits them after the restore.
+    for (auto& [seq, rc] : c.ooo) env_.pools->release(rc.frame);
+    c.ooo.clear();
     by_tuple_.erase(ConnKey{c.peer.value, c.pport, c.lport});
     it = conns_.erase(it);
   }
@@ -220,8 +242,8 @@ bool TcpEngine::connect(SockId s, Ipv4Addr dst, std::uint16_t port) {
   c.snd_una = c.iss;
   c.snd_nxt = c.iss;        // SYN not yet on the wire
   c.snd_buf_end = c.iss + 1;  // SYN occupies one sequence number
-  c.cwnd = opts_.initial_cwnd_segs * opts_.mss;
-  c.ssthresh = 0x7fffffff;
+  c.cc = make_cc(lport, port);
+  sync_cc(c);
   c.rto = opts_.rto_initial;
   c.snd_wnd = opts_.mss;  // until the peer tells us
   conns_.emplace(s, std::move(c));
@@ -591,6 +613,11 @@ void TcpEngine::tcp_output(Conn& c) {
     return;
 
   const std::uint32_t fin_seq = c.snd_buf_end;  // FIN sits after the stream
+  // Rate-based controllers pace data segments: a segment may not leave
+  // before pace_next; the pacing timer resumes this function at that
+  // instant.  Loss-based modules return 0 and skip all of this.
+  const std::uint64_t pace_rate = c.cc != nullptr ? c.cc->pacing_rate() : 0;
+  const sim::Time now = env_.clock->now();
   bool sent_any = false;
   for (;;) {
     const std::uint32_t wnd = std::min(c.cwnd, c.snd_wnd);
@@ -609,6 +636,20 @@ void TcpEngine::tcp_output(Conn& c) {
     const bool send_fin = c.fin_queued && !seq_lt(c.snd_nxt + len, fin_seq) &&
                           seq_leq(c.snd_nxt, fin_seq);
     if (len == 0 && !send_fin) break;
+    if (pace_rate > 0 && len > 0 && c.pace_next > now) {
+      if (c.pace_timer == 0) {
+        ++stats_.pacing_delays;
+        const SockId sock = c.sock;
+        c.pace_timer =
+            env_.timers->schedule(c.pace_next - now, [this, sock] {
+              Conn* pc = conn_for(sock);
+              if (pc == nullptr) return;
+              pc->pace_timer = 0;
+              tcp_output(*pc);
+            });
+      }
+      break;
+    }
     // Anything below the high-water mark has been on the wire before.
     const bool retx = seq_lt(c.snd_nxt, c.high_water);
 
@@ -618,6 +659,15 @@ void TcpEngine::tcp_output(Conn& c) {
     send_segment(c, c.snd_nxt, len, flags, retx);
     c.snd_nxt += len + (send_fin ? 1 : 0);
     if (seq_lt(c.high_water, c.snd_nxt)) c.high_water = c.snd_nxt;
+    if (len > 0) {
+      if (pace_rate > 0) {
+        const sim::Time gap = std::max<sim::Time>(
+            1, static_cast<sim::Time>(static_cast<std::uint64_t>(len) *
+                                      sim::kSecond / pace_rate));
+        c.pace_next = std::max(c.pace_next, now) + gap;
+      }
+      c.cc->on_sent(len, flight_size(c), now);
+    }
     sent_any = true;
     if (send_fin) break;
   }
@@ -662,9 +712,10 @@ void TcpEngine::on_rto(SockId sock) {
   if (seq_leq(c->snd_nxt, c->snd_una) && !c->fin_queued) return;
 
   ++stats_.rtos;
-  // Classic Reno timeout: collapse to one segment, go-back-N.
-  c->ssthresh = std::max(flight_size(*c) / 2, 2u * opts_.mss);
-  c->cwnd = opts_.mss;
+  // Timeout response is the module's call (Reno collapses to one segment;
+  // BBR keeps its model).  Flight is sampled before the go-back-N rewind.
+  c->cc->on_rto(flight_size(*c), env_.clock->now());
+  sync_cc(*c);
   c->snd_nxt = c->snd_una;
   c->dup_acks = 0;
   c->in_recovery = false;
@@ -695,6 +746,7 @@ void TcpEngine::schedule_ack(Conn& c) {
 
 void TcpEngine::process_ack(Conn& c, const TcpHeader& h) {
   const std::uint32_t ack = h.ack;
+  const sim::Time now = env_.clock->now();
   // Update the peer's advertised window (scaled; see DESIGN.md).
   c.snd_wnd = static_cast<std::uint32_t>(h.window) << opts_.wscale;
 
@@ -707,7 +759,7 @@ void TcpEngine::process_ack(Conn& c, const TcpHeader& h) {
 
     // RTT sample (Jacobson/Karn).
     if (c.rtt_sampling && seq_leq(c.rtt_seq, ack)) {
-      const sim::Time m = env_.clock->now() - c.rtt_sent_at;
+      const sim::Time m = now - c.rtt_sent_at;
       if (c.srtt == 0) {
         c.srtt = m;
         c.rttvar = m / 2;
@@ -718,11 +770,13 @@ void TcpEngine::process_ack(Conn& c, const TcpHeader& h) {
       }
       c.rto = std::clamp(c.srtt + 4 * c.rttvar, opts_.rto_min, opts_.rto_max);
       c.rtt_sampling = false;
+      c.cc->on_rtt_sample(m, now);
     }
 
-    // Congestion control: NewReno (RFC 6582) — partial ACKs during fast
-    // recovery retransmit the next hole immediately instead of waiting for
-    // an RTO (burst drops at a full TX ring leave many holes).
+    // Congestion control: the engine keeps the NewReno recovery machinery
+    // (RFC 6582 — partial ACKs during fast recovery retransmit the next
+    // hole immediately instead of waiting for an RTO); the window response
+    // to each event is the module's.
     if (c.in_recovery) {
       if (seq_lt(ack, c.recover)) {
         // Partial ACK: retransmit the segment at the new snd_una.
@@ -747,21 +801,18 @@ void TcpEngine::process_ack(Conn& c, const TcpHeader& h) {
             at += n;
           }
         }
-        // Deflate by the amount ACKed, then inflate by one segment.
-        c.cwnd = (c.cwnd > acked ? c.cwnd - acked : opts_.mss) + opts_.mss;
+        c.cc->on_partial_ack(acked, now);
+        sync_cc(c);
         arm_rto(c);
       } else {
         c.in_recovery = false;
-        c.cwnd = c.ssthresh;
+        c.cc->on_exit_recovery(now);
+        sync_cc(c);
         c.dup_acks = 0;
       }
-    } else if (c.cwnd < c.ssthresh) {
-      c.cwnd += std::min(acked, 2u * opts_.mss * 16u);  // slow start
-      c.dup_acks = 0;
     } else {
-      c.cwnd += std::max<std::uint32_t>(
-          1, static_cast<std::uint32_t>(
-                 static_cast<std::uint64_t>(opts_.mss) * acked / c.cwnd));
+      c.cc->on_ack(acked, flight_size(c), now);
+      sync_cc(c);
       c.dup_acks = 0;
     }
 
@@ -794,7 +845,8 @@ void TcpEngine::process_ack(Conn& c, const TcpHeader& h) {
       ++stats_.fast_retransmits;
       c.in_recovery = true;
       c.recover = c.snd_nxt;
-      c.ssthresh = std::max(flight_size(c) / 2, 2u * opts_.mss);
+      c.cc->on_enter_recovery(flight_size(c), now);
+      sync_cc(c);
       const std::uint32_t resend =
           std::min<std::uint32_t>(opts_.mss, c.snd_nxt - c.snd_una);
       // The retransmitted range may include the FIN.
@@ -808,10 +860,10 @@ void TcpEngine::process_ack(Conn& c, const TcpHeader& h) {
                      static_cast<std::uint8_t>(tcpflag::kAck | tcpflag::kPsh),
                      true);
       }
-      c.cwnd = c.ssthresh + 3 * opts_.mss;
       arm_rto(c);
     } else if (c.in_recovery) {
-      c.cwnd += opts_.mss;  // inflate during fast recovery
+      c.cc->on_dup_ack(true, flight_size(c), now);
+      sync_cc(c);
       tcp_output(c);
     }
   }
@@ -866,8 +918,8 @@ void TcpEngine::input(L4Packet&& pkt) {
       nc.snd_nxt = nc.iss + 1;
       nc.snd_buf_end = nc.iss + 1;
       nc.high_water = nc.iss + 1;
-      nc.cwnd = opts_.initial_cwnd_segs * opts_.mss;
-      nc.ssthresh = 0x7fffffff;
+      nc.cc = make_cc(l.port, h->src_port);
+      sync_cc(nc);
       nc.rto = opts_.rto_initial;
       nc.snd_wnd = static_cast<std::uint32_t>(h->window) << opts_.wscale;
       nc.parent_listener = l.sock;
@@ -977,13 +1029,10 @@ void TcpEngine::input(L4Packet&& pkt) {
     }
   }
 
-  // In-order data acceptance.
+  // Data acceptance (in-order, or parked in the reassembly queue).
   bool frame_retained = false;
   if (data_len > 0) {
-    accept_data(*c, pkt, *h, data_off, data_len);
-    // accept_data took ownership decisions; it retains the frame iff bytes
-    // were queued.  Detect by checking the queue tail.
-    frame_retained = !c->rcvq.empty() && c->rcvq.back().frame == pkt.frame;
+    frame_retained = accept_data(*c, pkt, *h, data_off, data_len);
   }
 
   // ACKs clock the sender: freed window and cwnd growth admit new segments.
@@ -1112,6 +1161,7 @@ void TcpEngine::input_agg(std::vector<L4Packet>&& segs) {
     }
     ckpt_touch(*c);
   }
+  if (!c->ooo.empty()) flush_ooo(*c);
 
   // One stretch ACK covers the whole aggregate — the receive-side mirror of
   // TSO's one-header-per-superframe.
@@ -1120,7 +1170,7 @@ void TcpEngine::input_agg(std::vector<L4Packet>&& segs) {
   if (was_empty && total > 0) notify(c->sock, TcpEvent::Readable);
 }
 
-void TcpEngine::accept_data(Conn& c, const L4Packet& pkt, const TcpHeader& h,
+bool TcpEngine::accept_data(Conn& c, const L4Packet& pkt, const TcpHeader& h,
                             std::uint16_t data_off, std::uint16_t data_len) {
   std::uint32_t seq = h.seq;
   std::uint16_t off = data_off;
@@ -1131,7 +1181,7 @@ void TcpEngine::accept_data(Conn& c, const L4Packet& pkt, const TcpHeader& h,
     const std::uint32_t dup = c.rcv_nxt - seq;
     if (dup >= len) {
       send_ack(c);  // pure duplicate
-      return;
+      return false;
     }
     seq += dup;
     off = static_cast<std::uint16_t>(off + dup);
@@ -1139,16 +1189,32 @@ void TcpEngine::accept_data(Conn& c, const L4Packet& pkt, const TcpHeader& h,
   }
 
   if (seq != c.rcv_nxt) {
-    // Out of order: we keep the receiver simple (no reassembly queue) and
-    // rely on dup-ACK-driven retransmission — see DESIGN.md.
+    // Out of order.  With a reassembly budget (ooo_queue_segs), buffer the
+    // displaced segment so a reordered wire does not masquerade as loss;
+    // the dup ACK below still tells the sender about the hole.  Without a
+    // budget we keep the classic simple receiver: drop and dup-ACK.
+    if (opts_.ooo_queue_segs > 0 && seq_lt(c.rcv_nxt, seq) &&
+        c.ooo.size() < opts_.ooo_queue_segs &&
+        seq + len - c.rcv_nxt <= rcv_space(c)) {
+      RecvChunk rc;
+      rc.frame = pkt.frame;
+      rc.offset = off;
+      rc.len = len;
+      const bool inserted = c.ooo.try_emplace(seq, rc).second;
+      if (inserted) {
+        ++stats_.ooo_buffered;
+        send_ack(c);  // dup ACK: the hole is still open
+        return true;
+      }
+    }
     ++stats_.ooo_dropped;
     send_ack(c);
-    return;
+    return false;
   }
   if (len > rcv_space(c)) {
     // Window overflow: drop; the advertised window should prevent this.
     send_ack(c);
-    return;
+    return false;
   }
 
   RecvChunk rc;
@@ -1164,8 +1230,51 @@ void TcpEngine::accept_data(Conn& c, const L4Packet& pkt, const TcpHeader& h,
     env_.ckpt->ckpt_rcvq_push(c.sock, rc.frame, rc.offset, rc.len);
     ckpt_touch(c);
   }
-  schedule_ack(c);
+  if (!c.ooo.empty() && flush_ooo(c)) {
+    // The cumulative ACK jumped past a filled hole: tell the sender now
+    // rather than after a delayed-ACK interval.
+    send_ack(c);
+  } else {
+    schedule_ack(c);
+  }
   if (was_empty) notify(c.sock, TcpEvent::Readable);
+  return true;
+}
+
+bool TcpEngine::flush_ooo(Conn& c) {
+  bool any = false;
+  while (!c.ooo.empty()) {
+    auto it = c.ooo.begin();
+    if (seq_lt(c.rcv_nxt, it->first)) break;  // still a hole
+    RecvChunk rc = it->second;
+    std::uint32_t seq = it->first;
+    c.ooo.erase(it);
+    // Trim overlap with bytes that arrived (e.g. retransmitted) in order.
+    if (seq_lt(seq, c.rcv_nxt)) {
+      const std::uint32_t dup = c.rcv_nxt - seq;
+      if (dup >= rc.len) {
+        env_.rx_done(rc.frame);
+        continue;
+      }
+      rc.offset = static_cast<std::uint16_t>(rc.offset + dup);
+      rc.len = static_cast<std::uint16_t>(rc.len - dup);
+    }
+    if (rc.len > rcv_space(c)) {
+      // Window shrank under the buffered segment; the peer retransmits.
+      env_.rx_done(rc.frame);
+      continue;
+    }
+    c.rcvq.push_back(rc);
+    c.rcvq_bytes += rc.len;
+    c.rcv_nxt += rc.len;
+    stats_.bytes_in += rc.len;
+    if (ckpt_on(c)) {
+      env_.ckpt->ckpt_rcvq_push(c.sock, rc.frame, rc.offset, rc.len);
+    }
+    any = true;
+  }
+  if (any && ckpt_on(c)) ckpt_touch(c);
+  return any;
 }
 
 // --- teardown ----------------------------------------------------------------------
@@ -1200,8 +1309,10 @@ void TcpEngine::destroy_conn(SockId s, bool notify_reset) {
   if (c.rto_timer) env_.timers->cancel(c.rto_timer);
   if (c.ack_timer) env_.timers->cancel(c.ack_timer);
   if (c.timewait_timer) env_.timers->cancel(c.timewait_timer);
+  cancel_pace(c);
   for (auto& sc : c.sndq) release_payload(sc.chunk);
   for (auto& rc : c.rcvq) env_.rx_done(rc.frame);
+  for (auto& [seq, rc] : c.ooo) env_.rx_done(rc.frame);
   by_tuple_.erase(ConnKey{c.peer.value, c.pport, c.lport});
   const bool was_established = c.state == TcpState::Established ||
                                c.state == TcpState::CloseWait ||
@@ -1320,9 +1431,28 @@ bool TcpEngine::restore_conn(const RestoredConn& rec) {
   c.snd_una = rec.snd_una;
   c.snd_nxt = rec.snd_una;  // go-back-N: resync retransmits from here
   c.snd_wnd = std::max<std::uint32_t>(rec.snd_wnd, opts_.mss);
-  c.cwnd = opts_.initial_cwnd_segs * opts_.mss;  // congestion state restarts
-  c.ssthresh = 0x7fffffff;
-  c.rto = opts_.rto_initial;
+  // Congestion state: prefer the checkpointed CC blob so the restored
+  // connection resumes at its learned rate; fall back to a fresh module
+  // (conservative slow start) for v1 records or a mismatched algorithm.
+  bool cc_restored = false;
+  if (rec.cc.algo != 0 && rec.cc.len != 0 && rec.cc.len <= cc::kCcBlobMax) {
+    auto mod = cc::make(static_cast<cc::Algo>(rec.cc.algo), cc_config());
+    if (mod != nullptr &&
+        mod->deserialize({reinterpret_cast<const std::byte*>(rec.cc.data),
+                          rec.cc.len})) {
+      c.cc = std::move(mod);
+      cc_restored = true;
+    }
+  }
+  if (!c.cc) c.cc = make_cc(rec.lport, rec.pport);
+  sync_cc(c);
+  if (cc_restored && rec.cc.rto > 0) {
+    c.srtt = rec.cc.srtt;
+    c.rttvar = rec.cc.rttvar;
+    c.rto = std::clamp(rec.cc.rto, opts_.rto_min, opts_.rto_max);
+  } else {
+    c.rto = opts_.rto_initial;
+  }
   c.fin_queued = rec.fin_queued;
   c.peer_fin = rec.peer_fin;
   c.irs = rec.rcv_nxt;
@@ -1413,6 +1543,46 @@ std::string TcpEngine::debug(SockId s) const {
       c->rcvq_bytes, static_cast<long long>(c->rto / sim::kMillisecond),
       static_cast<unsigned long long>(c->rto_timer));
   return buf;
+}
+
+std::unique_ptr<cc::CongestionControl> TcpEngine::make_cc(
+    std::uint16_t lport, std::uint16_t pport) const {
+  for (const auto& [port, algo] : opts_.cc_by_port) {
+    if (port == lport || port == pport) {
+      if (auto mod = cc::make(algo, cc_config())) return mod;
+    }
+  }
+  if (auto mod = cc::make(opts_.cc_algo, cc_config())) return mod;
+  return cc::make(cc::Algo::kNewReno, cc_config());
+}
+
+std::optional<TcpEngine::CcInfo> TcpEngine::cc_info(SockId s) const {
+  const Conn* c = conn_for(s);
+  if (c == nullptr || c->cc == nullptr) return std::nullopt;
+  CcInfo info;
+  info.algo = c->cc->name();
+  info.cwnd = c->cc->cwnd();
+  info.ssthresh = c->cc->ssthresh();
+  info.pacing_rate = c->cc->pacing_rate();
+  return info;
+}
+
+std::uint64_t TcpEngine::cwnd_sum() const {
+  std::uint64_t sum = 0;
+  for (const auto& [sock, c] : conns_) {
+    if (c.state == TcpState::Established || c.state == TcpState::CloseWait ||
+        c.state == TcpState::FinWait1) {
+      sum += c.cwnd;
+    }
+  }
+  return sum;
+}
+
+std::vector<SockId> TcpEngine::connection_socks() const {
+  std::vector<SockId> out;
+  out.reserve(conns_.size());
+  for (const auto& [sock, c] : conns_) out.push_back(sock);
+  return out;
 }
 
 std::vector<PfStateKey> TcpEngine::connection_keys() const {

@@ -22,13 +22,17 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/chan/pool.h"
+#include "src/net/cc/congestion.h"
 #include "src/net/env.h"
 #include "src/net/ip.h"
 #include "src/net/pf.h"
@@ -90,6 +94,25 @@ struct TcpOptions {
   // hot sequence scalars live in the pool-resident checkpoint page and are
   // never sent per segment).
   std::uint32_t ckpt_watermark = 256 * 1024;
+  // Congestion-control algorithm (src/net/cc): "newreno" (the default,
+  // byte-identical to the previously inlined cwnd math), "cubic" or "bbr".
+  std::string cc_algo = "newreno";
+  // Per-port overrides for mixed-algorithm experiments (bench_cc's
+  // dumbbell): a connection whose local or peer port matches takes that
+  // algorithm instead of cc_algo.
+  std::vector<std::pair<std::uint16_t, std::string>> cc_by_port;
+  // Receive-side out-of-order reassembly queue, in segments per
+  // connection.  0 (the default) keeps the classic drop-and-dup-ACK
+  // receiver; with a budget, displaced segments are buffered and the
+  // cumulative ACK jumps when the hole fills — reordering on a WAN wire no
+  // longer masquerades as loss.
+  std::uint32_t ooo_queue_segs = 0;
+  // Initial slow-start threshold in bytes — a cached path estimate, the way
+  // production stacks seed ssthresh from route metrics.  0 (the default)
+  // keeps the classic unbounded slow start.  Without SACK a slow-start
+  // overshoot of hundreds of segments takes one RTT per hole to repair, so
+  // benches over a shallow bottleneck set this near the known pipe size.
+  std::uint32_t ssthresh_init = 0;
 };
 
 // Host-side sink for connection checkpointing (implemented by the TCP
@@ -104,6 +127,19 @@ struct TcpOptions {
 //    into the storage server (the only IPC this subsystem generates).
 class TcpCheckpointSink {
  public:
+  // Serialized congestion-control state: the engine-level RTT estimator
+  // plus the algorithm's own blob (cc::CongestionControl::serialize).
+  // algo == 0 means "absent" — restore falls back to conservative fresh
+  // state, exactly the pre-blob behaviour.
+  struct CcState {
+    std::uint8_t algo = 0;  // cc::Algo
+    std::uint8_t len = 0;   // bytes used in data[]
+    std::int64_t srtt = 0;
+    std::int64_t rttvar = 0;
+    std::int64_t rto = 0;
+    std::uint8_t data[cc::kCcBlobMax] = {};
+  };
+  static_assert(std::is_trivially_copyable_v<CcState>);
   struct Scalars {
     TcpState state = TcpState::Closed;
     std::uint32_t snd_una = 0;
@@ -111,6 +147,7 @@ class TcpCheckpointSink {
     std::uint32_t rcv_nxt = 0;
     bool peer_fin = false;
     bool fin_queued = false;
+    CcState cc;
   };
   struct ConnMeta {
     SockId sock = 0;
@@ -185,6 +222,8 @@ class TcpEngine {
     std::uint64_t aggs_in = 0;        // GRO aggregates taken on the fast path
     std::uint64_t agg_frames_in = 0;  // frames those aggregates carried
     std::uint64_t conns_restored = 0; // rebuilt from a connection checkpoint
+    std::uint64_t pacing_delays = 0;  // TX stalls waiting on the pacing timer
+    std::uint64_t ooo_buffered = 0;   // segments held in the reassembly queue
   };
 
   TcpEngine(Env env, TcpOptions opts);
@@ -313,6 +352,9 @@ class TcpEngine {
     bool accept_pending = false;
     std::vector<RestoredSndChunk> sndq;
     std::vector<RestoredRcvChunk> rcvq;
+    // Congestion-control snapshot from the checkpoint page; algo == 0
+    // (e.g. a pre-blob v1 journal record) restores conservatively.
+    TcpCheckpointSink::CcState cc;
   };
   bool restore_conn(const RestoredConn& rec);
   // Resynchronizes every restored connection with its peer: go-back-N
@@ -331,6 +373,18 @@ class TcpEngine {
 
   // Human-readable connection state (diagnostics and examples).
   std::string debug(SockId s) const;
+
+  // --- congestion-control observability -----------------------------------------
+  struct CcInfo {
+    const char* algo = "";
+    std::uint32_t cwnd = 0;
+    std::uint32_t ssthresh = 0;
+    std::uint64_t pacing_rate = 0;  // bytes/sec; 0 = unpaced
+  };
+  std::optional<CcInfo> cc_info(SockId s) const;
+  // Sum of cwnd over synchronized connections (the tcp.cc.cwnd_now gauge).
+  std::uint64_t cwnd_sum() const;
+  std::vector<SockId> connection_socks() const;
 
   const Stats& stats() const { return stats_; }
   const TcpOptions& options() const { return opts_; }
@@ -362,6 +416,12 @@ class TcpEngine {
     std::uint16_t lport = 0;
     auto operator<=>(const ConnKey&) const = default;
   };
+  // Wraparound-safe sequence ordering for the reassembly map.
+  struct SeqLess {
+    bool operator()(std::uint32_t a, std::uint32_t b) const {
+      return static_cast<std::int32_t>(a - b) < 0;
+    }
+  };
   struct Conn {
     SockId sock = 0;
     TcpState state = TcpState::Closed;
@@ -376,8 +436,15 @@ class TcpEngine {
     std::uint32_t snd_nxt = 0;
     std::uint32_t snd_buf_end = 0;  // seq after last byte queued
     std::uint32_t snd_wnd = 0;      // peer-advertised (scaled)
+    // cwnd/ssthresh mirror the congestion-control module (synced after
+    // every hook); tcp_output() and debug() read them as they always did.
     std::uint32_t cwnd = 0;
     std::uint32_t ssthresh = 0;
+    std::unique_ptr<cc::CongestionControl> cc;
+    // Pacing (rate-based controllers): earliest time the next data segment
+    // may leave, and the timer that resumes tcp_output() at that instant.
+    sim::Time pace_next = 0;
+    TimerService::TimerId pace_timer = 0;
     std::uint32_t dup_acks = 0;
     std::uint32_t high_water = 0;  // highest snd_nxt reached (retx detection)
     bool in_recovery = false;      // NewReno fast recovery (RFC 6582)
@@ -402,6 +469,11 @@ class TcpEngine {
     std::uint32_t rcv_nxt = 0;
     std::deque<RecvChunk> rcvq;
     std::uint32_t rcvq_bytes = 0;
+    // Out-of-order reassembly (TcpOptions::ooo_queue_segs > 0), keyed by
+    // sequence number with wraparound-safe ordering.  Frames here are NOT
+    // readable, not counted in rcvq_bytes and never checkpointed (the peer
+    // retransmits them after a restore).
+    std::map<std::uint32_t, RecvChunk, SeqLess> ooo;
     bool peer_fin = false;
     bool fin_acked_by_us = false;
     int segs_since_ack = 0;
@@ -456,8 +528,14 @@ class TcpEngine {
   void cancel_rto(Conn& c);
   void on_rto(SockId sock);
   void process_ack(Conn& c, const TcpHeader& h);
-  void accept_data(Conn& c, const L4Packet& pkt, const TcpHeader& h,
+  // Returns true when the engine retained a reference to pkt.frame (queued
+  // in rcvq or the reassembly map).
+  bool accept_data(Conn& c, const L4Packet& pkt, const TcpHeader& h,
                    std::uint16_t data_off, std::uint16_t data_len);
+  // Drains now-in-order segments from the reassembly map into rcvq;
+  // returns true when any bytes were promoted (send an immediate ACK so
+  // the sender sees the cumulative jump).
+  bool flush_ooo(Conn& c);
   void enter_time_wait(Conn& c);
   void destroy_conn(SockId s, bool notify_reset);
   std::uint32_t flight_size(const Conn& c) const {
@@ -466,6 +544,28 @@ class TcpEngine {
   std::uint32_t rcv_space(const Conn& c) const;
   std::uint16_t window_field(const Conn& c) const;
   void notify(SockId s, TcpEvent e);
+
+  // --- congestion-control plumbing ---------------------------------------------------
+  cc::CcConfig cc_config() const {
+    return cc::CcConfig{opts_.mss,
+                        opts_.initial_cwnd_segs * std::uint32_t{opts_.mss},
+                        opts_.ssthresh_init};
+  }
+  // Builds the module for a connection: a cc_by_port match (local or peer
+  // port) overrides cc_algo; an unknown name falls back to NewReno.
+  std::unique_ptr<cc::CongestionControl> make_cc(std::uint16_t lport,
+                                                 std::uint16_t pport) const;
+  // Mirrors the module's outputs into the Conn fields the TX path reads.
+  void sync_cc(Conn& c) {
+    c.cwnd = c.cc->cwnd();
+    c.ssthresh = c.cc->ssthresh();
+  }
+  void cancel_pace(Conn& c) {
+    if (c.pace_timer) {
+      env_.timers->cancel(c.pace_timer);
+      c.pace_timer = 0;
+    }
+  }
 
   // --- checkpoint plumbing ---------------------------------------------------------
   bool ckpt_on(const Conn& c) const {

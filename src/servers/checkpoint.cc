@@ -61,6 +61,7 @@ bool CheckpointWriter::ckpt_established(const ConnMeta& meta,
   h.snd_una = s.snd_una;
   h.snd_wnd = s.snd_wnd;
   h.rcv_nxt = s.rcv_nxt;
+  h.cc = s.cc;
   *hdr(page) = h;
 
   Rec rec;
@@ -84,6 +85,7 @@ void CheckpointWriter::ckpt_scalars(net::SockId s, const Scalars& sc) {
   h->snd_una = sc.snd_una;
   h->snd_wnd = sc.snd_wnd;
   h->rcv_nxt = sc.rcv_nxt;
+  h->cc = sc.cc;
   // Journal refresh after every watermark's worth of stream progress (the
   // scalars themselves never ride IPC — only this record refresh does).
   // Re-marking an already-dirty record is deliberate: it re-arms the flush
@@ -290,6 +292,7 @@ void CheckpointWriter::flush(sim::Context& ctx) {
     sr.snd_una = h->snd_una;
     sr.rcv_nxt = h->rcv_nxt;
     sr.state = h->state;
+    sr.cc = h->cc;
     if (!put(ckpt_record_key(sock), serialize_record(sr), ctx)) continue;
     rec.last_una = h->snd_una;
     rec.last_rcv = h->rcv_nxt;
@@ -330,16 +333,28 @@ std::optional<CheckpointWriter::DirPage> CheckpointWriter::parse_dir(
 
 std::vector<std::byte> CheckpointWriter::serialize_record(
     const CkptStoreRec& rec) {
-  std::vector<std::byte> out(sizeof(CkptStoreRec));
-  std::memcpy(out.data(), &rec, sizeof rec);
+  // v2: the wire-stable v1 core, a version tag, then the CC snapshot.
+  std::vector<std::byte> out(kCkptRecV1Bytes + 4 + sizeof rec.cc);
+  std::memcpy(out.data(), &rec, kCkptRecV1Bytes);
+  std::memcpy(out.data() + kCkptRecV1Bytes, &kCkptRecVersion, 4);
+  std::memcpy(out.data() + kCkptRecV1Bytes + 4, &rec.cc, sizeof rec.cc);
   return out;
 }
 
 std::optional<CkptStoreRec> CheckpointWriter::parse_record(
     std::span<const std::byte> bytes) {
-  if (bytes.size() < sizeof(CkptStoreRec)) return std::nullopt;
+  if (bytes.size() < kCkptRecV1Bytes) return std::nullopt;
   CkptStoreRec rec;
-  std::memcpy(&rec, bytes.data(), sizeof rec);
+  std::memcpy(&rec, bytes.data(), kCkptRecV1Bytes);
+  // A bare v1 core restores with rec.cc absent (algo 0): the engine falls
+  // back to a fresh congestion module.
+  if (bytes.size() >= kCkptRecV1Bytes + 4 + sizeof rec.cc) {
+    std::uint32_t version = 0;
+    std::memcpy(&version, bytes.data() + kCkptRecV1Bytes, 4);
+    if (version == kCkptRecVersion) {
+      std::memcpy(&rec.cc, bytes.data() + kCkptRecV1Bytes + 4, sizeof rec.cc);
+    }
+  }
   return rec;
 }
 
@@ -373,6 +388,7 @@ std::optional<net::TcpEngine::RestoredConn> CheckpointWriter::load_page(
   out.fin_queued = h.fin_queued != 0;
   out.parent_listener = h.parent_listener;
   out.accept_pending = h.accept_pending != 0;
+  out.cc = h.cc;
 
   const std::byte* base = bytes.data() + sizeof(CkptPageHdr);
   for (std::uint32_t i = 0; i < h.snd_count; ++i) {

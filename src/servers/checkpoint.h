@@ -42,6 +42,7 @@
 // duplicated bytes.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -110,6 +111,12 @@ struct CkptPageHdr {
   // Consumed bytes of the front receive slot (only the front can be
   // partially delivered).
   std::uint32_t front_consumed = 0;
+  // Congestion-control snapshot (algorithm id + opaque blob + the engine's
+  // RTT estimator), refreshed with the other scalars by plain stores.  A
+  // restored connection resumes at its learned rate instead of slow start;
+  // algo == 0 (a page written before this field existed, or an engine with
+  // no module) restores conservatively.
+  net::TcpCheckpointSink::CcState cc;
 };
 static_assert(std::is_trivially_copyable_v<CkptPageHdr>);
 
@@ -140,15 +147,29 @@ inline constexpr std::uint32_t ckpt_page_bytes() {
 // (key ckpt_record_key(sock)); the directory (kKeyTcpCkptDir) lists the
 // socks.  The sequence watermarks are diagnostics at journal granularity —
 // the exact values live in the page.
+//
+// Wire format v2: the v1 core below, serialized verbatim, followed by a
+// 32-bit version tag and the congestion-control snapshot as of the last
+// journal refresh.  parse_record() accepts a bare v1 core (exactly
+// kCkptRecV1Bytes long) and leaves `cc` absent (algo 0), so journals
+// written by older builds still restore — with the conservative fresh-CC
+// fallback.
+inline constexpr std::uint32_t kCkptRecVersion = 2;
+
 struct CkptStoreRec {
+  // --- v1 core (wire-stable prefix) ---
   std::uint32_t sock = 0;
   chan::RichPtr page;
   std::uint32_t snd_una = 0;
   std::uint32_t rcv_nxt = 0;
   std::uint8_t state = 0;
   std::uint8_t pad[3] = {};
+  // --- v2 trailer ---
+  net::TcpCheckpointSink::CcState cc;
 };
 static_assert(std::is_trivially_copyable_v<CkptStoreRec>);
+
+inline constexpr std::size_t kCkptRecV1Bytes = offsetof(CkptStoreRec, cc);
 
 // The TCP server's side of the subsystem: implements the engine's sink,
 // owns the pages, journals to the storage server, and rebuilds
